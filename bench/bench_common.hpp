@@ -1,0 +1,48 @@
+// Shared table-printing helpers for the figure-reproduction benches.
+//
+// Every bench prints the same series the paper's figure plots, as aligned
+// text columns, so EXPERIMENTS.md can quote the output directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nbe::bench {
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s)\n", paper_ref.c_str());
+    std::printf("================================================================\n");
+}
+
+/// Prints one row: a label column then fixed-width numeric columns.
+inline void print_row(const std::string& label,
+                      const std::vector<double>& values,
+                      const char* fmt = "%14.1f") {
+    std::printf("%-28s", label.c_str());
+    for (double v : values) std::printf(fmt, v);
+    std::printf("\n");
+}
+
+inline void print_cols(const std::string& label,
+                       const std::vector<std::string>& cols) {
+    std::printf("%-28s", label.c_str());
+    for (const auto& c : cols) std::printf("%14s", c.c_str());
+    std::printf("\n");
+}
+
+/// Human-readable byte size ("4B", "64KB", "1MB").
+inline std::string size_label(std::size_t bytes) {
+    if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+        return std::to_string(bytes >> 20) + "MB";
+    }
+    if (bytes >= 1024 && bytes % 1024 == 0) {
+        return std::to_string(bytes >> 10) + "KB";
+    }
+    return std::to_string(bytes) + "B";
+}
+
+}  // namespace nbe::bench

@@ -1,0 +1,36 @@
+// Figure 3: Mitigating the Late Complete inefficiency pattern — observing
+// delay propagation in a target process.
+//
+// Setup (paper §VIII-A1): single origin and target; the origin issues one
+// put and overlaps 1000 us of work before the call that completes the
+// epoch. The target-side epoch length shows the propagated delay: the two
+// blocking series propagate the whole origin-side epoch (>= 1000 us); the
+// nonblocking series leaves only the actual RMA transfer time.
+#include "apps/scenarios.hpp"
+#include "bench_common.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+using namespace nbe::bench;
+
+int main() {
+    const std::size_t sizes[] = {4,        16,        64,       256,
+                                 1024,     4096,      16384,    65536,
+                                 256 << 10, 1u << 20};
+    print_header(
+        "Late Complete: target-side epoch length vs message size (us)",
+        "Figure 3 / Section VIII-A1");
+    std::vector<std::string> cols;
+    for (auto s : sizes) cols.push_back(size_label(s));
+    print_cols("series \\ size", cols);
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking, Mode::NewNonblocking}) {
+        std::vector<double> vals;
+        for (auto s : sizes) vals.push_back(late_complete(m, s).target_epoch_us);
+        print_row(to_string(m), vals);
+    }
+    std::printf(
+        "\nExpected shape: both blocking series stay pinned at ~1000+ us\n"
+        "(the origin's overlapped work propagates); the nonblocking series\n"
+        "tracks the pure transfer latency at every size.\n");
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 5: Mitigating the Wait at Fence inefficiency pattern — observing
+// delay propagation in a target process.
+//
+// Setup (paper §VIII-A1): origin and target share a fence epoch; the origin
+// delays its closing fence 1000 us beyond the end of its transfers. With
+// blocking fences the target's closing fence must absorb that delay; with
+// nonblocking fences every participant issues its ifence early and the
+// target sees only the data-transfer time.
+#include "apps/scenarios.hpp"
+#include "bench_common.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+using namespace nbe::bench;
+
+int main() {
+    const std::size_t sizes[] = {4,        16,        64,       256,
+                                 1024,     4096,      16384,    65536,
+                                 256 << 10, 1u << 20};
+    print_header(
+        "Wait at Fence: target closing-fence latency vs message size (us)",
+        "Figure 5 / Section VIII-A1");
+    std::vector<std::string> cols;
+    for (auto s : sizes) cols.push_back(size_label(s));
+    print_cols("series \\ size", cols);
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking, Mode::NewNonblocking}) {
+        std::vector<double> vals;
+        for (auto s : sizes) vals.push_back(wait_at_fence_target_us(m, s));
+        print_row(to_string(m), vals);
+    }
+    std::printf(
+        "\nExpected shape: blocking series pinned at ~1000+ us regardless of\n"
+        "size; the nonblocking series tracks the pure transfer latency.\n");
+    return 0;
+}

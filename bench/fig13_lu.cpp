@@ -1,0 +1,87 @@
+// Figure 13: performance evaluation by LU decomposition.
+//
+// Setup (paper §VIII-B): 1-D cyclic LU over GATS epochs. At fixed matrix
+// size, growing the job shrinks per-process computation and grows the
+// number of peers each pivot row is broadcast to, so total time falls to an
+// optimal job size and rises beyond it. The blocking series overlaps the
+// owner's updates inside the epoch (Late Complete); the nonblocking series
+// closes with icomplete first — eliminating Late Complete and enabling
+// post-close overlap, worth up to ~50% at the compute-bound end and
+// shrinking as the communication share grows.
+//
+// Scale note: the paper ran 8192^2 and 16384^2 matrices on 64..2048
+// processes. This harness defaults to 512^2 / 1024^2 on 8..256 simulated
+// ranks — the same m/n regime traversal at 1/8 the rank count, preserving
+// the curve shapes. Run with --full for 1024^2 / 2048^2 on up to 512 ranks.
+#include <cstring>
+
+#include "apps/lu.hpp"
+#include "bench_common.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+using namespace nbe::bench;
+
+namespace {
+
+void run_matrix(std::size_t m, const std::vector<int>& jobs) {
+    print_header("LU decomposition, matrix " + std::to_string(m) + " x " +
+                     std::to_string(m) + ": overall time (ms)",
+                 "Figure 13a/c / Section VIII-B");
+    std::vector<std::string> cols;
+    for (int j : jobs) cols.push_back(std::to_string(j));
+    print_cols("series \\ processes", cols);
+
+    std::vector<std::vector<double>> pct_rows;
+    std::vector<double> blocking_ms;
+    std::vector<double> nonblocking_ms;
+    for (Mode mode : {Mode::Mvapich, Mode::NewBlocking, Mode::NewNonblocking}) {
+        std::vector<double> total_ms;
+        std::vector<double> pcts;
+        for (int j : jobs) {
+            LuParams params;
+            params.ranks = j;
+            params.mode = mode;
+            params.m = m;
+            params.flop_ns = 4.0;
+            const auto r = run_lu(params);
+            total_ms.push_back(r.total_s * 1000.0);
+            pcts.push_back(r.comm_pct);
+            if (mode == Mode::NewBlocking) blocking_ms.push_back(r.total_s);
+            if (mode == Mode::NewNonblocking) nonblocking_ms.push_back(r.total_s);
+        }
+        print_row(to_string(mode), total_ms);
+        pct_rows.push_back(pcts);
+    }
+
+    std::printf("\nCommunication time (%% of overall) — Figure 13b/d:\n");
+    const char* labels[] = {"MVAPICH", "New", "New nonblocking"};
+    for (std::size_t s = 0; s < pct_rows.size(); ++s) {
+        print_row(labels[s], pct_rows[s]);
+    }
+    std::printf("\nNonblocking gain over the blocking series:\n");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::printf("  %4d ranks: %+6.1f%%\n", jobs[i],
+                    100.0 * (blocking_ms[i] - nonblocking_ms[i]) /
+                        blocking_ms[i]);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+    const std::vector<int> jobs = full
+                                      ? std::vector<int>{8, 16, 32, 64, 128,
+                                                         256, 512}
+                                      : std::vector<int>{8, 16, 32, 64, 128,
+                                                         256};
+    run_matrix(full ? 1024 : 512, jobs);
+    run_matrix(full ? 2048 : 1024, jobs);
+    std::printf(
+        "\nExpected shape: time falls to an optimal job size then rises\n"
+        "(heavier broadcasts); the nonblocking gain is largest (tens of %%)\n"
+        "at the compute-bound end and shrinks as %%comm grows with job size;\n"
+        "MVAPICH trails both (close-time transfer batching).\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation microbenchmarks (google-benchmark) for the engine internals the
+// paper's design notes call out:
+//   * O(1) epoch matching: DoneTracker and counter-triple updates must stay
+//     constant-cost regardless of how many epochs link two processes
+//     (paper §VII-B).
+//   * Deferred-queue activation scans.
+//   * DES event-queue throughput (simulator substrate cost).
+#include <benchmark/benchmark.h>
+
+#include "core/epoch.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using nbe::rma::DoneTracker;
+using nbe::rma::LockManager;
+using nbe::rma::LockType;
+
+// O(1) matching: in-order done ids (the common case).
+void BM_DoneTrackerInOrder(benchmark::State& state) {
+    for (auto _ : state) {
+        DoneTracker t;
+        for (std::uint64_t i = 1; i <= 1000; ++i) t.add(i);
+        benchmark::DoNotOptimize(t.contiguous());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DoneTrackerInOrder);
+
+// Out-of-order done ids (reorder flags active): bounded sparse set.
+void BM_DoneTrackerOutOfOrder(benchmark::State& state) {
+    const auto window = static_cast<std::uint64_t>(state.range(0));
+    nbe::sim::Xoshiro256 rng(7);
+    for (auto _ : state) {
+        DoneTracker t;
+        // Ids arrive shuffled within a sliding window.
+        for (std::uint64_t base = 0; base < 1000; base += window) {
+            for (std::uint64_t k = 0; k < window; ++k) {
+                t.add(base + window - k);
+            }
+        }
+        benchmark::DoNotOptimize(t.contiguous());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DoneTrackerOutOfOrder)->Arg(2)->Arg(8)->Arg(32);
+
+// Lock manager grant/release cycles with a contended FIFO queue.
+void BM_LockManagerContended(benchmark::State& state) {
+    const int waiters = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        LockManager mgr;
+        for (int o = 0; o < waiters; ++o) {
+            mgr.request(o, LockType::Exclusive);
+        }
+        int released = 0;
+        while (mgr.held()) {
+            const auto next = mgr.release(mgr.exclusive_holder());
+            benchmark::DoNotOptimize(next.size());
+            if (++released > waiters) break;
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * waiters);
+}
+BENCHMARK(BM_LockManagerContended)->Arg(4)->Arg(64)->Arg(512);
+
+// DES substrate: raw event throughput.
+void BM_EngineEventThroughput(benchmark::State& state) {
+    const int events = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        nbe::sim::Engine eng;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < events; ++i) {
+            eng.schedule_at(i, [&sum, i] { sum += static_cast<std::uint64_t>(i); });
+        }
+        eng.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(100000);
+
+// DES substrate: process handoff (two OS context switches per park).
+void BM_EngineProcessHandoff(benchmark::State& state) {
+    const int hops = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        nbe::sim::Engine eng;
+        eng.spawn("hopper", [hops](nbe::sim::Process& p) {
+            for (int i = 0; i < hops; ++i) p.advance(1);
+        });
+        eng.run();
+    }
+    state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_EngineProcessHandoff)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

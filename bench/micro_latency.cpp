@@ -1,0 +1,37 @@
+// §VIII-A latency-parity microbenchmark: "Both the blocking and nonblocking
+// versions of the new implementation have similar latency performance
+// compared with that of MVAPICH for all kinds of epochs."
+//
+// Prints pure epoch latency (no late peers, no delays) per epoch kind and
+// message size for the three series.
+#include "apps/scenarios.hpp"
+#include "bench_common.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+using namespace nbe::bench;
+
+int main() {
+    const std::size_t sizes[] = {8, 1024, 65536, 1u << 20};
+    for (EpochKind kind :
+         {EpochKind::Fence, EpochKind::Access, EpochKind::Lock}) {
+        print_header(std::string("Pure epoch latency, ") + to_string(kind) +
+                         " epochs (us)",
+                     "Section VIII-A latency-parity summary");
+        std::vector<std::string> cols;
+        for (auto s : sizes) cols.push_back(size_label(s));
+        print_cols("series \\ size", cols);
+        for (Mode m :
+             {Mode::Mvapich, Mode::NewBlocking, Mode::NewNonblocking}) {
+            std::vector<double> vals;
+            for (auto s : sizes) {
+                vals.push_back(pure_epoch_latency_us(m, kind, s));
+            }
+            print_row(to_string(m), vals);
+        }
+    }
+    std::printf(
+        "\nExpected shape: all three series within a few %% of each other\n"
+        "for every epoch kind and size (parity, not improvement).\n");
+    return 0;
+}

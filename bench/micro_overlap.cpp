@@ -1,0 +1,37 @@
+// §VIII-A overlap microbenchmark: communication/computation overlap inside
+// lock epochs. MVAPICH's lazy lock acquisition provides none (the whole
+// epoch degenerates to the unlock call); the new implementation provides
+// full overlap in both its blocking and nonblocking versions.
+#include "apps/scenarios.hpp"
+#include "bench_common.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+using namespace nbe::bench;
+
+int main() {
+    const std::size_t sizes[] = {65536, 256u << 10, 1u << 20};
+    print_header(
+        "In-epoch communication/computation overlap ratio, lock epochs "
+        "(1.0 = full overlap)",
+        "Section VIII-A overlap summary");
+    std::vector<std::string> cols;
+    for (auto s : sizes) cols.push_back(size_label(s));
+    print_cols("series \\ size", cols);
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking, Mode::NewNonblocking}) {
+        std::vector<double> vals;
+        for (auto s : sizes) {
+            // Work sized near the transfer time maximizes the observable
+            // difference.
+            const auto work = sim::microseconds(
+                static_cast<std::int64_t>(static_cast<double>(s) / 3100.0) +
+                20);
+            vals.push_back(lock_overlap_ratio(m, s, work));
+        }
+        print_row(to_string(m), vals, "%14.2f");
+    }
+    std::printf(
+        "\nExpected shape: MVAPICH ~0 (lazy lock acquisition defers the\n"
+        "whole epoch to MPI_WIN_UNLOCK); New and New nonblocking ~1.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+// Example: a distributed fact store with nonblocking RMA epochs.
+//
+// The paper's future-work section motivates "large-scale distributed rule
+// engines [using] nonblocking MPI RMA epochs for fast pattern matching and
+// update of fact databases". This example sketches that pattern: facts are
+// (key -> counter) slots sharded across ranks by hash; rule firings update
+// remote facts with atomic fetch_and_op epochs, and a pattern matcher polls
+// facts with rget under a shared lock_all epoch — all without ever blocking
+// the firing loop.
+//
+// Build & run:  ./build/examples/fact_store
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "core/window.hpp"
+
+using namespace nbe;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr std::size_t kFactsPerRank = 32;
+constexpr int kFiringsPerRank = 120;
+constexpr std::int64_t kThreshold = 5;   // pattern: fact count reaches this
+
+std::uint64_t fact_home(std::uint64_t key) { return key % kRanks; }
+std::uint64_t fact_slot(std::uint64_t key) {
+    return (key / kRanks) % kFactsPerRank;
+}
+
+}  // namespace
+
+int main() {
+    JobConfig cfg;
+    cfg.ranks = kRanks;
+    cfg.mode = Mode::NewNonblocking;
+
+    std::uint64_t matches_found = 0;
+    std::int64_t total_firings = 0;
+
+    run(cfg, [&](Proc& p) {
+        // One window per rank: kFactsPerRank int64 counters.
+        Window facts = p.create_window(kFactsPerRank * sizeof(std::int64_t));
+
+        // Everyone holds a shared lock_all for the whole run: updates use
+        // atomic ops (valid under shared locks), queries use rget + iflush.
+        facts.lock_all();
+        p.barrier();
+
+        auto& rng = p.rng();
+        std::deque<Request> inflight;
+        std::uint64_t local_matches = 0;
+
+        for (int i = 0; i < kFiringsPerRank; ++i) {
+            // Rule firing: bump a random fact wherever it lives.
+            const std::uint64_t key = rng.below(kRanks * kFactsPerRank);
+            const auto home = static_cast<Rank>(fact_home(key));
+            const std::int64_t one = 1;
+            facts.accumulate(std::span<const std::int64_t>(&one, 1),
+                             ReduceOp::Sum, home, fact_slot(key));
+            inflight.push_back(facts.iflush_all());
+            while (inflight.size() > 8) {
+                p.wait(inflight.front());
+                inflight.pop_front();
+            }
+
+            // Pattern matching every few firings: probe a random remote
+            // fact without stalling the firing loop.
+            if (i % 10 == 9) {
+                const std::uint64_t probe_key =
+                    rng.below(kRanks * kFactsPerRank);
+                std::int64_t value = 0;
+                Request q = facts.rget(
+                    &value, sizeof value, static_cast<Rank>(fact_home(probe_key)),
+                    fact_slot(probe_key) * sizeof(std::int64_t));
+                p.compute(sim::microseconds(5));  // overlap: match other rules
+                p.wait(q);
+                if (value >= kThreshold) ++local_matches;
+            }
+        }
+        while (!inflight.empty()) {
+            p.wait(inflight.front());
+            inflight.pop_front();
+        }
+        p.barrier();
+        facts.unlock_all();
+        p.barrier();
+
+        // Gather totals at rank 0 (two-sided funnel).
+        std::int64_t local_total = 0;
+        for (std::size_t s = 0; s < kFactsPerRank; ++s) {
+            local_total += facts.read<std::int64_t>(s);
+        }
+        if (p.rank() == 0) {
+            total_firings = local_total;
+            matches_found = local_matches;
+            for (int q = 1; q < kRanks; ++q) {
+                std::int64_t other[2] = {0, 0};
+                p.recv(other, sizeof other, rt::kAnySource, 42);
+                total_firings += other[0];
+                matches_found += static_cast<std::uint64_t>(other[1]);
+            }
+        } else {
+            const std::int64_t mine[2] = {
+                local_total, static_cast<std::int64_t>(local_matches)};
+            p.send(mine, sizeof mine, 0, 42);
+        }
+    });
+
+    std::printf("fact store: %d ranks x %d rule firings\n", kRanks,
+                kFiringsPerRank);
+    std::printf("  facts recorded : %lld (expected %d)\n",
+                static_cast<long long>(total_firings),
+                kRanks * kFiringsPerRank);
+    std::printf("  pattern matches: %llu probes saw a fact >= %lld\n",
+                static_cast<unsigned long long>(matches_found),
+                static_cast<long long>(kThreshold));
+    if (total_firings != kRanks * kFiringsPerRank) {
+        std::printf("  VERIFICATION FAILED\n");
+        return 1;
+    }
+    std::printf(
+        "\nAll updates were atomic fetch-style epochs issued back to back\n"
+        "without blocking; queries overlapped their flight time with local\n"
+        "matching work (the paper's future-work use case, Section X).\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+// Example: solving a dense linear system with the 1-D cyclic LU kernel.
+//
+// Decomposes a diagonally dominant matrix over simulated ranks using GATS
+// epochs (the paper's Figure 13 workload), verifies the factorization
+// against a serial reference, and reports how nonblocking epoch closes
+// (icomplete) change the time breakdown.
+//
+// Build & run:  ./build/examples/lu_solver
+#include <cstdio>
+
+#include "apps/lu.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+
+int main() {
+    LuParams params;
+    params.ranks = 8;
+    params.m = 192;
+    params.flop_ns = 6.0;
+    params.verify = true;
+
+    std::printf("LU decomposition of a %zux%zu system on %d simulated ranks\n\n",
+                params.m, params.m, params.ranks);
+    std::printf("%-18s %12s %10s %14s\n", "series", "time (ms)", "comm %",
+                "max |err|");
+    for (Mode mode : {Mode::Mvapich, Mode::NewBlocking, Mode::NewNonblocking}) {
+        params.mode = mode;
+        const auto r = run_lu(params);
+        std::printf("%-18s %12.2f %9.1f%% %14.2e\n", to_string(mode),
+                    r.total_s * 1e3, r.comm_pct, r.max_error);
+    }
+    std::printf(
+        "\nThe nonblocking series issues MPI_WIN_ICOMPLETE right after its\n"
+        "pivot-row puts, so targets never absorb the owner's update time\n"
+        "(no Late Complete) and the owner still overlaps fully.\n");
+    return 0;
+}

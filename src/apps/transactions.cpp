@@ -1,0 +1,94 @@
+#include "apps/transactions.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace nbe::apps {
+
+TransactionsResult run_transactions(const TransactionsParams& params) {
+    TransactionsResult result;
+    const int n = params.ranks;
+    // Window layout: one 8-byte atomic update counter, then payload slots.
+    const std::size_t counter_bytes = 8;
+    const std::size_t win_bytes =
+        counter_bytes + params.slots * params.payload_bytes;
+
+    std::vector<sim::Time> finish(static_cast<std::size_t>(n), 0);
+    std::vector<std::uint64_t> received(static_cast<std::size_t>(n), 0);
+    sim::Time t_start = 0;
+
+    JobConfig cfg;
+    cfg.ranks = n;
+    cfg.mode = params.mode;
+    cfg.seed = params.seed;
+    cfg.fabric.ranks_per_node = params.ranks_per_node;
+    cfg.fabric.tx_credits = params.tx_credits;
+
+    Job job(cfg);
+    job.run([&](Proc& p) {
+        WinInfo info;
+        info.access_after_access = params.use_aaar;
+        Window win = p.create_window(win_bytes, info);
+        std::vector<std::byte> payload(params.payload_bytes,
+                                       std::byte{0xEE});
+        auto& rng = p.rng();
+        p.barrier();
+        if (p.rank() == 0) t_start = p.now();
+
+        const bool nonblocking = params.mode == Mode::NewNonblocking;
+        std::deque<Request> outstanding;
+        const std::uint64_t one = 1;
+
+        for (int i = 0; i < params.updates_per_rank; ++i) {
+            const Rank target = static_cast<Rank>(rng.below(
+                static_cast<std::uint64_t>(n)));
+            const std::size_t slot = rng.below(params.slots);
+            const std::size_t disp =
+                counter_bytes + slot * params.payload_bytes;
+            if (nonblocking) {
+                win.ilock(LockType::Exclusive, target);
+                win.put(payload.data(), payload.size(), target, disp);
+                win.accumulate(std::span<const std::uint64_t>(&one, 1),
+                               ReduceOp::Sum, target, 0);
+                outstanding.push_back(win.iunlock(target));
+                while (outstanding.size() >
+                       static_cast<std::size_t>(params.max_outstanding)) {
+                    p.wait(outstanding.front());
+                    outstanding.pop_front();
+                }
+            } else {
+                win.lock(LockType::Exclusive, target);
+                win.put(payload.data(), payload.size(), target, disp);
+                win.accumulate(std::span<const std::uint64_t>(&one, 1),
+                               ReduceOp::Sum, target, 0);
+                win.unlock(target);
+            }
+        }
+        while (!outstanding.empty()) {
+            p.wait(outstanding.front());
+            outstanding.pop_front();
+        }
+        finish[static_cast<std::size_t>(p.rank())] = p.now();
+        p.barrier();  // everyone's updates are completed and applied
+        received[static_cast<std::size_t>(p.rank())] =
+            win.read<std::uint64_t>(0);
+    });
+
+    const sim::Time t_end = *std::max_element(finish.begin(), finish.end());
+    result.duration_s = sim::to_sec(t_end - t_start);
+    result.total_updates =
+        static_cast<std::uint64_t>(n) *
+        static_cast<std::uint64_t>(params.updates_per_rank);
+    result.throughput_tps =
+        result.duration_s > 0
+            ? static_cast<double>(result.total_updates) / result.duration_s
+            : 0.0;
+    std::uint64_t sum = 0;
+    for (auto v : received) sum += v;
+    result.verified = sum == result.total_updates;
+    result.credit_stalls = job.world().fabric().stats().credit_stalls;
+    return result;
+}
+
+}  // namespace nbe::apps

@@ -1,0 +1,40 @@
+// Dynamic unstructured massive transactions (paper §IV-B and Figure 12).
+//
+// At any time, any rank may atomically update any other rank: processes do
+// not know how many updates they will receive, from whom, or at which
+// offset, so each update is an exclusive-lock epoch carrying a payload put
+// plus an atomic counter bump. The nonblocking API lets many such epochs be
+// pending simultaneously; A_A_A_R additionally lets them complete out of
+// order, which is where the contention-avoidance throughput comes from.
+#pragma once
+
+#include <cstdint>
+
+#include "core/window.hpp"
+
+namespace nbe::apps {
+
+struct TransactionsParams {
+    int ranks = 64;
+    Mode mode = Mode::NewNonblocking;
+    bool use_aaar = false;             ///< enable A_A_A_R on the window
+    int updates_per_rank = 200;
+    std::size_t payload_bytes = 32 * 1024;
+    std::size_t slots = 8;             ///< payload slots per target window
+    int max_outstanding = 32;          ///< cap on in-flight nonblocking epochs
+    int ranks_per_node = 8;
+    int tx_credits = 64;               ///< fabric flow-control credits
+    std::uint64_t seed = 0x7472616eULL;
+};
+
+struct TransactionsResult {
+    double duration_s = 0;             ///< slowest rank's completion time
+    std::uint64_t total_updates = 0;
+    double throughput_tps = 0;         ///< updates per second, job-wide
+    bool verified = false;             ///< atomic counters sum to the total
+    std::uint64_t credit_stalls = 0;   ///< fabric flow-control stalls
+};
+
+TransactionsResult run_transactions(const TransactionsParams& params);
+
+}  // namespace nbe::apps

@@ -1,0 +1,76 @@
+// Element-wise reduction arithmetic for accumulate-style RMA calls.
+//
+// The simulation applies these at the *target* at delivery time, which gives
+// the element-wise atomicity the MPI RMA accumulate rules require for free
+// (the simulator is serial).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/types.hpp"
+
+namespace nbe::rma {
+
+namespace detail {
+
+template <typename T>
+void apply_typed(ReduceOp op, std::byte* target, const std::byte* operand,
+                 std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+        T t{};
+        T o{};
+        std::memcpy(&t, target + i * sizeof(T), sizeof(T));
+        std::memcpy(&o, operand + i * sizeof(T), sizeof(T));
+        switch (op) {
+            case ReduceOp::Replace: t = o; break;
+            case ReduceOp::NoOp: break;
+            case ReduceOp::Sum: t = static_cast<T>(t + o); break;
+            case ReduceOp::Prod: t = static_cast<T>(t * o); break;
+            case ReduceOp::Min: t = std::min(t, o); break;
+            case ReduceOp::Max: t = std::max(t, o); break;
+            case ReduceOp::Band:
+            case ReduceOp::Bor:
+            case ReduceOp::Bxor:
+                if constexpr (std::is_integral_v<T>) {
+                    if (op == ReduceOp::Band) t = static_cast<T>(t & o);
+                    if (op == ReduceOp::Bor) t = static_cast<T>(t | o);
+                    if (op == ReduceOp::Bxor) t = static_cast<T>(t ^ o);
+                } else {
+                    throw std::invalid_argument(
+                        "bitwise reduce op on non-integer type");
+                }
+                break;
+        }
+        std::memcpy(target + i * sizeof(T), &t, sizeof(T));
+    }
+}
+
+}  // namespace detail
+
+/// Applies `target[i] = target[i] (op) operand[i]` for `count` elements of
+/// type `type`, in place at `target`.
+inline void apply_reduce(ReduceOp op, TypeId type, std::byte* target,
+                         const std::byte* operand, std::size_t count) {
+    switch (type) {
+        case TypeId::Byte:
+            detail::apply_typed<unsigned char>(op, target, operand, count);
+            break;
+        case TypeId::Int32:
+            detail::apply_typed<std::int32_t>(op, target, operand, count);
+            break;
+        case TypeId::Int64:
+            detail::apply_typed<std::int64_t>(op, target, operand, count);
+            break;
+        case TypeId::UInt64:
+            detail::apply_typed<std::uint64_t>(op, target, operand, count);
+            break;
+        case TypeId::Double:
+            detail::apply_typed<double>(op, target, operand, count);
+            break;
+    }
+}
+
+}  // namespace nbe::rma

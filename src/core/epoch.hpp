@@ -1,0 +1,199 @@
+// Epoch and RMA-operation objects — the middleware-side state of the
+// paper's design (Sections VI and VII).
+//
+// Terminology (paper Section VI): an epoch is *open/closed* at application
+// level and *activated/completed* inside the middleware. A *deferred* epoch
+// is one that has been opened (and possibly even closed) at application
+// level but cannot be activated yet; its RMA calls are recorded and replayed
+// on activation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/packet.hpp"
+#include "rt/request.hpp"
+
+namespace nbe::rma {
+
+using Rank = net::Rank;
+
+/// One recorded RMA communication call.
+struct RmaOp {
+    OpKind kind = OpKind::Put;
+    Rank target = -1;
+    std::uint64_t age = 0;      ///< Monotonic per-window stamp (flush matching).
+    std::uint64_t id = 0;       ///< Per-window unique id (reply routing).
+    std::size_t target_disp = 0;
+    std::size_t bytes = 0;                ///< Payload bytes moved to the target.
+    std::size_t reply_bytes = 0;          ///< Bytes returned (get family).
+    TypeId type = TypeId::Byte;
+    ReduceOp rop = ReduceOp::Replace;
+    std::vector<std::byte> data;          ///< Staged origin payload.
+    std::byte* origin_out = nullptr;      ///< Result destination (get family).
+    std::uint64_t origin_key = 0;         ///< Registration-cache key.
+    std::shared_ptr<rt::RequestState> op_req;  ///< Request-based variant.
+    bool issued = false;
+    bool local_done = false;
+    bool remote_done = false;
+    /// MVAPICH mode: the target was already ready when this RMA call was
+    /// made, so the transfer may go out eagerly; otherwise it waits for the
+    /// epoch-closing routine's batching rules (paper §VIII-B).
+    bool mvapich_eager = false;
+};
+
+using OpPtr = std::shared_ptr<RmaOp>;
+
+/// Per-peer progress state inside an epoch.
+struct PeerState {
+    std::uint64_t access_id = 0;  ///< A_i toward this peer (origin side).
+    bool granted = false;         ///< A_i <= g achieved (origin side).
+    std::uint32_t ops_total = 0;
+    std::uint32_t ops_done = 0;
+    bool done_sent = false;        ///< Access/fence completion notification.
+    bool unlock_sent = false;      ///< Lock epochs.
+    bool unlock_acked = false;
+};
+
+/// An epoch object. Created inactive ("deferred"); the progress engine
+/// passes it through the activation predicate before activating it.
+struct Epoch {
+    std::uint64_t seq = 0;  ///< Per-window creation order (activation is FIFO).
+    EpochKind kind = EpochKind::Access;
+    LockType lock_type = LockType::Shared;
+
+    enum class Phase : std::uint8_t { Deferred, Active, Completed };
+    Phase phase = Phase::Deferred;
+    bool closed_app = false;  ///< Close requested at application level.
+    bool has_ops = false;     ///< At least one RMA call recorded/issued.
+    /// MVAPICH mode: a flush forces a lazily-deferred passive-target epoch
+    /// to acquire its lock now instead of at the unlock call.
+    bool flush_forced = false;
+
+    std::vector<Rank> peers;  ///< Group (GATS), single target (lock), or all.
+    std::map<Rank, PeerState> peer;
+    std::map<Rank, std::uint64_t> exposure_id;  ///< Exposure/fence side.
+
+    std::vector<OpPtr> ops;
+    std::shared_ptr<rt::RequestState> close_req;
+
+    std::uint64_t fence_seq = 0;         ///< Ordinal among this window's fences.
+    std::uint32_t fence_dones_recv = 0;  ///< Fence barrier progress.
+
+    [[nodiscard]] bool origin_side() const noexcept {
+        return kind == EpochKind::Access || kind == EpochKind::Lock ||
+               kind == EpochKind::LockAll || kind == EpochKind::Fence;
+    }
+    [[nodiscard]] bool exposure_side() const noexcept {
+        return kind == EpochKind::Exposure || kind == EpochKind::Fence;
+    }
+};
+
+using EpochPtr = std::shared_ptr<Epoch>;
+
+/// Tracks the set of access ids for which a done packet has been received
+/// from one peer. Ids arrive mostly in order; out-of-order ids (possible
+/// under the reorder flags) sit in a small sparse set until the contiguous
+/// frontier catches up.
+class DoneTracker {
+public:
+    void add(std::uint64_t id) {
+        if (id == contiguous_ + 1) {
+            ++contiguous_;
+            while (!sparse_.empty() && *sparse_.begin() == contiguous_ + 1) {
+                sparse_.erase(sparse_.begin());
+                ++contiguous_;
+            }
+        } else if (id > contiguous_) {
+            sparse_.insert(id);
+        }
+    }
+    [[nodiscard]] bool has(std::uint64_t id) const {
+        return id <= contiguous_ || sparse_.count(id) > 0;
+    }
+    [[nodiscard]] std::uint64_t contiguous() const noexcept { return contiguous_; }
+
+private:
+    std::uint64_t contiguous_ = 0;
+    std::set<std::uint64_t> sparse_;
+};
+
+/// A pending (nonblocking) flush. Stamped with the age of the RMA call that
+/// immediately precedes it; every younger op completion decrements the
+/// counter; the flush completes when the counter reaches zero (paper
+/// Section VII-C).
+struct FlushReq {
+    std::shared_ptr<rt::RequestState> req;
+    Rank target = -1;  ///< -1: all targets.
+    std::uint64_t age_limit = 0;
+    std::uint32_t pending = 0;
+    bool local_only = false;
+};
+
+/// Target-side passive-target lock state for one window (FIFO-fair).
+class LockManager {
+public:
+    struct Waiter {
+        Rank origin;
+        LockType type;
+    };
+
+    /// Returns true if the lock was granted immediately; otherwise the
+    /// request is queued.
+    bool request(Rank origin, LockType type) {
+        if (queue_.empty() && compatible(type)) {
+            grant(origin, type);
+            return true;
+        }
+        queue_.push_back(Waiter{origin, type});
+        return false;
+    }
+
+    /// Releases origin's hold; returns the waiters granted as a result.
+    std::vector<Waiter> release(Rank origin) {
+        if (excl_holder_ == origin) {
+            excl_holder_ = -1;
+        } else {
+            --shared_count_;
+        }
+        std::vector<Waiter> granted;
+        while (!queue_.empty() && compatible(queue_.front().type)) {
+            Waiter w = queue_.front();
+            queue_.pop_front();
+            grant(w.origin, w.type);
+            granted.push_back(w);
+        }
+        return granted;
+    }
+
+    [[nodiscard]] bool held() const noexcept {
+        return excl_holder_ >= 0 || shared_count_ > 0;
+    }
+    [[nodiscard]] Rank exclusive_holder() const noexcept { return excl_holder_; }
+    [[nodiscard]] int shared_count() const noexcept { return shared_count_; }
+    [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+
+private:
+    [[nodiscard]] bool compatible(LockType type) const noexcept {
+        if (excl_holder_ >= 0) return false;
+        return type == LockType::Shared || shared_count_ == 0;
+    }
+    void grant(Rank origin, LockType type) {
+        if (type == LockType::Exclusive) {
+            excl_holder_ = origin;
+        } else {
+            ++shared_count_;
+        }
+    }
+
+    Rank excl_holder_ = -1;
+    int shared_count_ = 0;
+    std::deque<Waiter> queue_;
+};
+
+}  // namespace nbe::rma

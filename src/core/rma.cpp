@@ -1,0 +1,968 @@
+#include "core/rma.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "core/datatype.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nbe::rma {
+
+namespace {
+
+/// Set NBE_RMA_TRACE=1 to stream epoch/packet events to stderr.
+bool trace_enabled() {
+    static const bool on = [] {
+        const char* v = std::getenv("NBE_RMA_TRACE");
+        return v != nullptr && v[0] == '1';
+    }();
+    return on;
+}
+
+#define NBE_TRACE(...)                       \
+    do {                                     \
+        if (trace_enabled()) {               \
+            std::fprintf(stderr, __VA_ARGS__); \
+            std::fputc('\n', stderr);        \
+        }                                    \
+    } while (0)
+
+std::uint64_t pack_type_rop(TypeId t, ReduceOp r) {
+    return (static_cast<std::uint64_t>(t) << 8) | static_cast<std::uint64_t>(r);
+}
+TypeId unpack_type(std::uint64_t v) {
+    return static_cast<TypeId>((v >> 8) & 0xff);
+}
+ReduceOp unpack_rop(std::uint64_t v) { return static_cast<ReduceOp>(v & 0xff); }
+
+}  // namespace
+
+Rma::Rma(rt::World& world)
+    : world_(world),
+      mode_(world.config().mode),
+      wins_(static_cast<std::size_t>(world.nranks())),
+      stats_(static_cast<std::size_t>(world.nranks())) {
+    for (Rank r = 0; r < world_.nranks(); ++r) {
+        world_.set_rma_handler(r, [this, r](net::Packet&& p) {
+            handle_packet(r, std::move(p));
+        });
+    }
+}
+
+std::uint32_t Rma::create_window(Rank r, std::size_t bytes, const WinInfo& info) {
+    auto& per_rank = wins_.at(static_cast<std::size_t>(r));
+    auto w = std::make_unique<WinState>();
+    w->id = static_cast<std::uint32_t>(per_rank.size());
+    w->rank = r;
+    w->info = info;
+    w->mem.assign(bytes, std::byte{0});
+    const auto n = static_cast<std::size_t>(world_.nranks());
+    w->a.assign(n, 0);
+    w->e.assign(n, 0);
+    w->g.assign(n, 0);
+    w->done.assign(n, DoneTracker{});
+    per_rank.push_back(std::move(w));
+    return per_rank.back()->id;
+}
+
+Rma::WinState& Rma::ws(Rank r, std::uint32_t win) {
+    return *wins_.at(static_cast<std::size_t>(r)).at(win);
+}
+const Rma::WinState& Rma::ws(Rank r, std::uint32_t win) const {
+    return *wins_.at(static_cast<std::size_t>(r)).at(win);
+}
+
+std::byte* Rma::win_base(Rank r, std::uint32_t win) { return ws(r, win).mem.data(); }
+std::size_t Rma::win_size(Rank r, std::uint32_t win) const {
+    return ws(r, win).mem.size();
+}
+const WinInfo& Rma::win_info(Rank r, std::uint32_t win) const {
+    return ws(r, win).info;
+}
+const RmaStats& Rma::stats(Rank r) const {
+    return stats_.at(static_cast<std::size_t>(r));
+}
+std::size_t Rma::deferred_count(Rank r, std::uint32_t win) const {
+    return ws(r, win).deferred.size();
+}
+std::size_t Rma::active_count(Rank r, std::uint32_t win) const {
+    return ws(r, win).active.size();
+}
+std::uint64_t Rma::granted_counter(Rank r, std::uint32_t win, Rank from) const {
+    return ws(r, win).g.at(static_cast<std::size_t>(from));
+}
+
+// =================================================================== epochs
+
+EpochPtr Rma::open_epoch(WinState& w, EpochKind kind, LockType lt,
+                              std::vector<Rank> peers) {
+    std::sort(peers.begin(), peers.end());
+    auto e = std::make_shared<Epoch>();
+    e->seq = w.next_epoch_seq++;
+    e->kind = kind;
+    e->lock_type = lt;
+    e->peers = std::move(peers);
+    for (Rank p : e->peers) e->peer.emplace(p, PeerState{});
+    if (kind == EpochKind::Fence) e->fence_seq = w.next_fence_seq++;
+
+    auto& st = stats_[static_cast<std::size_t>(w.rank)];
+    ++st.epochs_opened;
+    w.open_app.push_back(e);
+    w.deferred.push_back(e);
+    st.max_deferred_epochs =
+        std::max<std::uint64_t>(st.max_deferred_epochs, w.deferred.size());
+    activation_scan(w);
+    if (e->phase == Epoch::Phase::Deferred) ++st.epochs_deferred_at_open;
+    return e;
+}
+
+Request Rma::close_epoch(WinState& w, const EpochPtr& e) {
+    NBE_TRACE("[%ld] r%d w%u close seq=%lu kind=%s phase=%d", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind), (int)e->phase);
+    if (e->closed_app) throw std::logic_error("epoch closed twice");
+    e->closed_app = true;
+    e->close_req = std::make_shared<rt::RequestState>();
+    w.open_app.erase(std::find(w.open_app.begin(), w.open_app.end(), e));
+    Request out(e->close_req);
+    if (e->phase == Epoch::Phase::Active) {
+        drive_epoch(w, e);
+    } else {
+        // A deferred epoch may be closed at application level; it is then
+        // flagged closed and finished entirely inside the engine (§VII-A).
+        activation_scan(w);  // closing may enable lazy (MVAPICH) activation
+    }
+    return out;
+}
+
+bool Rma::can_activate(const WinState& w, const Epoch& e) const {
+    // MVAPICH lazy lock acquisition: the whole passive-target epoch
+    // degenerates to the unlock call.
+    if (mode_ == Mode::Mvapich &&
+        (e.kind == EpochKind::Lock || e.kind == EpochKind::LockAll) &&
+        !e.closed_app && !e.flush_forced) {
+        return false;
+    }
+    for (const auto& a : w.active) {
+        // Epochs that are still *open* at application level coexist with
+        // newly opened epochs by MPI semantics (MPI_WIN_POST + MPI_WIN_START
+        // on the same window, lock epochs to distinct targets, an empty
+        // fence epoch awaiting its closing fence). The default "activate
+        // E(k+1) only after E(k) completes" rule of §VI-B governs *queued
+        // successors* of closed-but-incomplete epochs — the backlog that
+        // only nonblocking closes can create.
+        if (!a->closed_app) continue;
+        if (mode_ == Mode::Mvapich) return false;
+        // Flags never apply across fence / lock-all adjacency (§VI-B).
+        if (a->kind == EpochKind::Fence || a->kind == EpochKind::LockAll ||
+            e.kind == EpochKind::Fence || e.kind == EpochKind::LockAll) {
+            return false;
+        }
+        const bool e_origin = e.origin_side();
+        const bool a_origin = a->origin_side();
+        bool allowed = false;
+        if (e_origin && a_origin) allowed = w.info.access_after_access;
+        if (e_origin && !a_origin) allowed = w.info.access_after_exposure;
+        if (!e_origin && !a_origin) allowed = w.info.exposure_after_exposure;
+        if (!e_origin && a_origin) allowed = w.info.exposure_after_access;
+        if (!allowed) return false;
+    }
+    return true;
+}
+
+void Rma::activation_scan(WinState& w) {
+    // Activate, in order, the longest prefix of the deferred queue that
+    // satisfies the predicate; stop at the first failure (rule 4: epochs are
+    // never skipped).
+    while (!w.deferred.empty()) {
+        EpochPtr e = w.deferred.front();
+        if (!can_activate(w, *e)) break;
+        w.deferred.pop_front();
+        activate(w, e);
+    }
+}
+
+void Rma::activate(WinState& w, const EpochPtr& e) {
+    NBE_TRACE("[%ld] r%d w%u activate seq=%lu kind=%s closed=%d", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind), (int)e->closed_app);
+    e->phase = Epoch::Phase::Active;
+    w.active.push_back(e);
+    auto& st = stats_[static_cast<std::size_t>(w.rank)];
+    ++st.epochs_activated;
+    st.max_active_epochs =
+        std::max<std::uint64_t>(st.max_active_epochs, w.active.size());
+
+    switch (e->kind) {
+        case EpochKind::Access:
+            for (auto& [t, ps] : e->peer) {
+                ps.access_id = ++w.a[static_cast<std::size_t>(t)];
+                ps.granted = ps.access_id <= w.g[static_cast<std::size_t>(t)];
+            }
+            break;
+        case EpochKind::Exposure:
+            for (Rank o : e->peers) {
+                const auto exp = ++w.e[static_cast<std::size_t>(o)];
+                e->exposure_id[o] = exp;
+                send_grant(w, o, exp);
+            }
+            break;
+        case EpochKind::Lock:
+        case EpochKind::LockAll:
+            for (auto& [t, ps] : e->peer) {
+                ps.access_id = ++w.a[static_cast<std::size_t>(t)];
+                ps.granted = ps.access_id <= w.g[static_cast<std::size_t>(t)];
+                if (!ps.granted) {
+                    send_control(w.rank, t, kLockReq, w.id,
+                                 static_cast<std::uint64_t>(e->lock_type));
+                }
+            }
+            break;
+        case EpochKind::Fence:
+            for (auto& [t, ps] : e->peer) {
+                ps.access_id = ++w.a[static_cast<std::size_t>(t)];
+                const auto exp = ++w.e[static_cast<std::size_t>(t)];
+                e->exposure_id[t] = exp;
+                send_grant(w, t, exp);
+                ps.granted = ps.access_id <= w.g[static_cast<std::size_t>(t)];
+            }
+            break;
+    }
+    // Replay: issue what can be issued; if the epoch was already closed at
+    // application level, run its close logic too.
+    drive_epoch(w, e);
+}
+
+bool Rma::may_issue_to_peer(const WinState& /*w*/, const Epoch& e,
+                            Rank t) const {
+    if (e.phase != Epoch::Phase::Active) return false;
+    return e.peer.at(t).granted;
+}
+
+bool Rma::mvapich_batch_ready(const WinState& w, const Epoch& e,
+                              Rank t) const {
+    // Vanilla MVAPICH batching at the epoch-closing routine: wait for all
+    // internode targets to be ready before issuing to any internode target,
+    // then for all intranode targets before any intranode transfer
+    // (paper §VIII-B).
+    if (!e.closed_app) return false;
+    auto& fabric = const_cast<rt::World&>(world_).fabric();
+    const bool t_intra = fabric.same_node(w.rank, t);
+    for (const auto& [p, pps] : e.peer) {
+        const bool p_intra = fabric.same_node(w.rank, p);
+        if (!p_intra && !pps.granted) return false;
+        if (t_intra && p_intra && !pps.granted) return false;
+    }
+    return true;
+}
+
+bool Rma::may_issue_op(const WinState& w, const Epoch& e,
+                       const RmaOp& op) const {
+    if (!may_issue_to_peer(w, e, op.target)) return false;
+    if (mode_ == Mode::Mvapich &&
+        (e.kind == EpochKind::Access || e.kind == EpochKind::Fence) &&
+        !op.mvapich_eager) {
+        return mvapich_batch_ready(w, e, op.target);
+    }
+    return true;
+}
+
+void Rma::try_issue(WinState& w, const EpochPtr& e) {
+    // New-engine optimization (§VIII-B): internode transfers are issued
+    // before intranode ones so the two channels overlap.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (auto& op : e->ops) {
+            if (op->issued) continue;
+            const bool intra = world_.fabric().same_node(w.rank, op->target);
+            if ((pass == 0) == intra) continue;
+            if (!may_issue_op(w, *e, *op)) continue;
+            issue_op(w, e, op);
+        }
+    }
+}
+
+bool Rma::completion_conditions_met(const WinState& w, const Epoch& e) const {
+    if (!e.closed_app) return false;
+    switch (e.kind) {
+        case EpochKind::Access:
+            for (const auto& [t, ps] : e.peer) {
+                if (!ps.granted || ps.ops_done != ps.ops_total || !ps.done_sent) {
+                    return false;
+                }
+            }
+            return true;
+        case EpochKind::Exposure:
+            for (Rank o : e.peers) {
+                if (!w.done[static_cast<std::size_t>(o)].has(e.exposure_id.at(o))) {
+                    return false;
+                }
+            }
+            return true;
+        case EpochKind::Lock:
+        case EpochKind::LockAll:
+            for (const auto& [t, ps] : e.peer) {
+                if (!ps.granted || ps.ops_done != ps.ops_total ||
+                    !ps.unlock_sent || !ps.unlock_acked) {
+                    return false;
+                }
+            }
+            return true;
+        case EpochKind::Fence: {
+            for (const auto& [t, ps] : e.peer) {
+                if (ps.ops_done != ps.ops_total || !ps.done_sent) return false;
+            }
+            const auto it = w.fence_dones.find(e.fence_seq);
+            const std::uint32_t got = it == w.fence_dones.end() ? 0 : it->second;
+            return got >= e.peers.size();
+        }
+    }
+    return false;
+}
+
+void Rma::drive_epoch(WinState& w, EpochPtr e) {  // NOLINT: by value — callers may pass references into containers this function mutates
+    if (e->phase != Epoch::Phase::Active) return;
+    try_issue(w, e);
+    if (e->closed_app) {
+        for (auto& [t, ps] : e->peer) {
+            if (ps.ops_done != ps.ops_total) continue;
+            switch (e->kind) {
+                case EpochKind::Access:
+                    // The origin-side close waits for the matching exposure:
+                    // Late Post can still be incurred at MPI_WIN_COMPLETE.
+                    if (ps.granted && !ps.done_sent) {
+                        ps.done_sent = true;
+                        ++stats_[static_cast<std::size_t>(w.rank)].dones_sent;
+                        send_control(w.rank, t, kDone, w.id, ps.access_id);
+                    }
+                    break;
+                case EpochKind::Fence:
+                    if (!ps.done_sent) {
+                        ps.done_sent = true;
+                        ++stats_[static_cast<std::size_t>(w.rank)].dones_sent;
+                        send_control(w.rank, t, kFenceDone, w.id, e->fence_seq);
+                    }
+                    break;
+                case EpochKind::Lock:
+                case EpochKind::LockAll:
+                    if (ps.granted && !ps.unlock_sent) {
+                        ps.unlock_sent = true;
+                        send_control(w.rank, t, kUnlock, w.id, 0);
+                    }
+                    break;
+                case EpochKind::Exposure:
+                    break;
+            }
+        }
+    }
+    if (completion_conditions_met(w, *e)) complete_epoch(w, e);
+}
+
+void Rma::complete_epoch(WinState& w, EpochPtr e) {  // NOLINT: by value — erases e from w.active, which would dangle a reference into it
+    NBE_TRACE("[%ld] r%d w%u complete seq=%lu kind=%s", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind));
+    e->phase = Epoch::Phase::Completed;
+    ++stats_[static_cast<std::size_t>(w.rank)].epochs_completed;
+    w.active.erase(std::find(w.active.begin(), w.active.end(), e));
+    if (e->close_req) e->close_req->complete(world_.engine());
+    // Every internal completion triggers a scan over this window's deferred
+    // epochs (§VII-A).
+    activation_scan(w);
+}
+
+EpochPtr Rma::find_open(WinState& w, EpochKind kind, Rank target) {
+    for (auto it = w.open_app.rbegin(); it != w.open_app.rend(); ++it) {
+        if ((*it)->kind != kind) continue;
+        if (target >= 0 && (*it)->peers.size() == 1 && (*it)->peers[0] != target) {
+            continue;
+        }
+        return *it;
+    }
+    return nullptr;
+}
+
+EpochPtr Rma::route_op(WinState& w, Rank target) {
+    for (auto it = w.open_app.rbegin(); it != w.open_app.rend(); ++it) {
+        Epoch& e = **it;
+        switch (e.kind) {
+            case EpochKind::Lock:
+                if (e.peers[0] == target) return *it;
+                break;
+            case EpochKind::LockAll:
+            case EpochKind::Fence:
+                return *it;
+            case EpochKind::Access:
+                if (std::binary_search(e.peers.begin(), e.peers.end(), target)) {
+                    return *it;
+                }
+                break;
+            case EpochKind::Exposure:
+                break;
+        }
+    }
+    throw std::logic_error("RMA call with no open epoch covering target " +
+                           std::to_string(target));
+}
+
+// ====================================================== synchronization API
+
+Request Rma::istart(Rank r, std::uint32_t win, std::span<const Rank> group) {
+    WinState& w = ws(r, win);
+    open_epoch(w, EpochKind::Access, LockType::Shared,
+               std::vector<Rank>(group.begin(), group.end()));
+    // Epoch-opening routines return a dummy completed request (§VII-C).
+    return Request(rt::RequestState::completed());
+}
+
+Request Rma::icomplete(Rank r, std::uint32_t win) {
+    WinState& w = ws(r, win);
+    EpochPtr e = find_open(w, EpochKind::Access);
+    if (!e) throw std::logic_error("icomplete: no open access epoch");
+    return close_epoch(w, e);
+}
+
+Request Rma::ipost(Rank r, std::uint32_t win, std::span<const Rank> group) {
+    WinState& w = ws(r, win);
+    open_epoch(w, EpochKind::Exposure, LockType::Shared,
+               std::vector<Rank>(group.begin(), group.end()));
+    return Request(rt::RequestState::completed());
+}
+
+Request Rma::iwait(Rank r, std::uint32_t win) {
+    WinState& w = ws(r, win);
+    EpochPtr e = find_open(w, EpochKind::Exposure);
+    if (!e) throw std::logic_error("iwait: no open exposure epoch");
+    return close_epoch(w, e);
+}
+
+bool Rma::test_exposure(Rank r, std::uint32_t win) {
+    WinState& w = ws(r, win);
+    EpochPtr e = find_open(w, EpochKind::Exposure);
+    if (!e) throw std::logic_error("test_exposure: no open exposure epoch");
+    if (e->phase != Epoch::Phase::Active) return false;
+    for (Rank o : e->peers) {
+        if (!w.done[static_cast<std::size_t>(o)].has(e->exposure_id.at(o))) {
+            return false;
+        }
+    }
+    close_epoch(w, e);
+    return true;
+}
+
+Request Rma::ifence(Rank r, std::uint32_t win, unsigned asserts) {
+    WinState& w = ws(r, win);
+    Request close_request(rt::RequestState::completed());
+    EpochPtr prev = find_open(w, EpochKind::Fence);
+    if (prev) {
+        if (asserts & kNoPrecede) {
+            if (prev->has_ops) {
+                throw std::logic_error(
+                    "fence(NOPRECEDE) but the open fence epoch has RMA calls");
+            }
+            // Vacuous close: no barrier exchange.
+            prev->closed_app = true;
+            prev->close_req = rt::RequestState::completed();
+            w.open_app.erase(std::find(w.open_app.begin(), w.open_app.end(), prev));
+            if (prev->phase == Epoch::Phase::Active) {
+                prev->phase = Epoch::Phase::Completed;
+                w.active.erase(std::find(w.active.begin(), w.active.end(), prev));
+                activation_scan(w);
+            } else {
+                auto it = std::find(w.deferred.begin(), w.deferred.end(), prev);
+                if (it != w.deferred.end()) w.deferred.erase(it);
+                prev->phase = Epoch::Phase::Completed;
+            }
+        } else {
+            close_request = close_epoch(w, prev);
+        }
+    }
+    if (!(asserts & kNoSucceed)) {
+        std::vector<Rank> all(static_cast<std::size_t>(world_.nranks()));
+        for (int i = 0; i < world_.nranks(); ++i) all[static_cast<std::size_t>(i)] = i;
+        open_epoch(w, EpochKind::Fence, LockType::Shared, std::move(all));
+    }
+    return close_request;
+}
+
+Request Rma::ilock(Rank r, std::uint32_t win, LockType type, Rank target) {
+    WinState& w = ws(r, win);
+    if (find_open(w, EpochKind::Lock, target)) {
+        throw std::logic_error("ilock: lock epoch to target already open");
+    }
+    open_epoch(w, EpochKind::Lock, type, std::vector<Rank>{target});
+    return Request(rt::RequestState::completed());
+}
+
+Request Rma::iunlock(Rank r, std::uint32_t win, Rank target) {
+    WinState& w = ws(r, win);
+    EpochPtr e = find_open(w, EpochKind::Lock, target);
+    if (!e) throw std::logic_error("iunlock: no open lock epoch to target");
+    return close_epoch(w, e);
+}
+
+Request Rma::ilock_all(Rank r, std::uint32_t win) {
+    WinState& w = ws(r, win);
+    if (find_open(w, EpochKind::LockAll)) {
+        throw std::logic_error("ilock_all: lock_all epoch already open");
+    }
+    std::vector<Rank> all(static_cast<std::size_t>(world_.nranks()));
+    for (int i = 0; i < world_.nranks(); ++i) all[static_cast<std::size_t>(i)] = i;
+    open_epoch(w, EpochKind::LockAll, LockType::Shared, std::move(all));
+    return Request(rt::RequestState::completed());
+}
+
+Request Rma::iunlock_all(Rank r, std::uint32_t win) {
+    WinState& w = ws(r, win);
+    EpochPtr e = find_open(w, EpochKind::LockAll);
+    if (!e) throw std::logic_error("iunlock_all: no open lock_all epoch");
+    return close_epoch(w, e);
+}
+
+Request Rma::iflush(Rank r, std::uint32_t win, Rank target, bool local_only) {
+    WinState& w = ws(r, win);
+    // Flush applies to the currently open passive-target epoch(s).
+    std::vector<EpochPtr> scope;
+    for (auto& e : w.open_app) {
+        if (e->kind == EpochKind::LockAll ||
+            (e->kind == EpochKind::Lock &&
+             (target < 0 || e->peers[0] == target))) {
+            scope.push_back(e);
+        }
+    }
+    if (scope.empty()) {
+        throw std::logic_error("flush requires an open passive-target epoch");
+    }
+    if (mode_ == Mode::Mvapich) {
+        // Real MVAPICH's lazy lock acquisition is forced by a flush: the
+        // epoch must acquire its lock now, not at the unlock call.
+        for (auto& e : scope) e->flush_forced = true;
+        activation_scan(w);
+    }
+    FlushReq f;
+    f.req = std::make_shared<rt::RequestState>();
+    f.target = target;
+    f.local_only = local_only;
+    f.age_limit = w.next_op_age - 1;  // the RMA call that immediately precedes
+    for (auto& e : scope) {
+        for (auto& op : e->ops) {
+            if (target >= 0 && op->target != target) continue;
+            if (op->age > f.age_limit) continue;
+            const bool done = local_only ? op->local_done : op->remote_done;
+            if (!done) ++f.pending;
+        }
+    }
+    if (f.pending == 0) {
+        f.req->complete(world_.engine());
+    } else {
+        w.flushes.push_back(f);
+    }
+    return Request(f.req);
+}
+
+// ========================================================= communication API
+
+Request Rma::post_op(Rank r, std::uint32_t win, OpKind kind, Rank target,
+                     std::size_t target_disp, const void* origin_in,
+                     void* origin_out, std::size_t count, TypeId type,
+                     ReduceOp rop, bool request_based) {
+    WinState& w = ws(r, win);
+    EpochPtr e = route_op(w, target);
+    if (request_based && e->kind != EpochKind::Lock &&
+        e->kind != EpochKind::LockAll) {
+        throw std::logic_error(
+            "request-based RMA calls require a passive-target epoch");
+    }
+    const std::size_t esz = type_size(type);
+    auto op = std::make_shared<RmaOp>();
+    op->kind = kind;
+    op->target = target;
+    op->age = w.next_op_age++;
+    op->id = w.next_op_id++;
+    op->target_disp = target_disp;
+    op->type = type;
+    op->rop = rop;
+    op->origin_out = static_cast<std::byte*>(origin_out);
+    op->origin_key = reinterpret_cast<std::uintptr_t>(
+        origin_in ? origin_in : origin_out);
+
+    switch (kind) {
+        case OpKind::Put:
+        case OpKind::Accumulate:
+            op->bytes = count * esz;
+            op->data.resize(op->bytes);
+            std::memcpy(op->data.data(), origin_in, op->bytes);
+            break;
+        case OpKind::Get:
+            op->bytes = 0;
+            op->reply_bytes = count * esz;
+            break;
+        case OpKind::GetAccumulate:
+        case OpKind::FetchAndOp:
+            op->bytes = count * esz;
+            op->reply_bytes = count * esz;
+            op->data.resize(op->bytes);
+            std::memcpy(op->data.data(), origin_in, op->bytes);
+            break;
+        case OpKind::CompareAndSwap:
+            // data layout: [desired][compare], one element each.
+            op->bytes = 2 * esz;
+            op->reply_bytes = esz;
+            op->data.resize(op->bytes);
+            std::memcpy(op->data.data(), origin_in, 2 * esz);
+            break;
+    }
+    if (request_based) op->op_req = std::make_shared<rt::RequestState>();
+    record_op(w, e, op);
+    return op->op_req ? Request(op->op_req) : Request();
+}
+
+void Rma::record_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
+    e->ops.push_back(op);
+    e->has_ops = true;
+    ++e->peer.at(op->target).ops_total;
+    op->mvapich_eager = e->phase == Epoch::Phase::Active &&
+                        e->peer.at(op->target).granted;
+    if (e->phase == Epoch::Phase::Active && may_issue_op(w, *e, *op)) {
+        issue_op(w, e, op);
+    }
+}
+
+void Rma::issue_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
+    NBE_TRACE("[%ld] r%d w%u issue op id=%lu kind=%d tgt=%d seq=%lu", (long)world_.engine().now(), w.rank, w.id, (unsigned long)op->id, (int)op->kind, op->target, (unsigned long)e->seq);
+    op->issued = true;
+    auto& st = stats_[static_cast<std::size_t>(w.rank)];
+    ++st.ops_issued;
+    st.bytes_put += op->bytes;
+
+    switch (op->kind) {
+        case OpKind::Put:
+        case OpKind::Accumulate:
+            if (op->kind == OpKind::Accumulate &&
+                op->bytes > acc_rndv_threshold_) {
+                // Large accumulates need an intermediate target-side buffer:
+                // internal rendezvous (paper §VIII-A).
+                w.pending_acc_rndv.emplace(op->id, std::make_pair(e, op));
+                send_control(w.rank, op->target, kAccRts, w.id, op->id,
+                             op->bytes);
+                return;
+            }
+            send_op_data(w, e, op);
+            op->local_done = true;
+            note_op_completion_for_flushes(w, *op, /*local_event=*/true);
+            break;
+        case OpKind::Get: {
+            w.pending_replies.emplace(op->id, std::make_pair(e, op));
+            net::Packet p;
+            p.src = w.rank;
+            p.dst = op->target;
+            p.kind = kGetReq;
+            p.header[0] = w.id;
+            p.header[2] = op->target_disp;
+            p.header[3] = op->id;
+            p.header[5] = op->reply_bytes;
+            world_.fabric().send(std::move(p));
+            break;
+        }
+        case OpKind::GetAccumulate:
+        case OpKind::FetchAndOp:
+        case OpKind::CompareAndSwap: {
+            w.pending_replies.emplace(op->id, std::make_pair(e, op));
+            net::Packet p;
+            p.src = w.rank;
+            p.dst = op->target;
+            p.kind = kData;
+            p.header[0] = w.id;
+            p.header[1] = static_cast<std::uint64_t>(op->kind);
+            p.header[2] = op->target_disp;
+            p.header[3] = op->id;
+            p.header[4] = pack_type_rop(op->type, op->rop);
+            p.payload = op->data;
+            world_.fabric().send(std::move(p));
+            break;
+        }
+    }
+}
+
+void Rma::send_op_data(WinState& w, const EpochPtr& e, const OpPtr& op) {
+    const auto pin_delay =
+        world_.fabric().pin(w.rank, op->origin_key, op->bytes);
+    net::Packet p;
+    p.src = w.rank;
+    p.dst = op->target;
+    p.kind = kData;
+    p.header[0] = w.id;
+    p.header[1] = static_cast<std::uint64_t>(op->kind);
+    p.header[2] = op->target_disp;
+    p.header[3] = 0;  // no reply
+    p.header[4] = pack_type_rop(op->type, op->rop);
+    p.payload = std::move(op->data);
+    EpochPtr epoch = e;
+    OpPtr o = op;
+    p.on_acked = [this, &w, epoch, o](sim::Time) {
+        on_op_remote_complete(w, epoch, o);
+    };
+    world_.fabric().send(std::move(p), pin_delay);
+}
+
+void Rma::on_op_remote_complete(WinState& w, const EpochPtr& e, const OpPtr& op) {
+    if (op->remote_done) return;
+    op->remote_done = true;
+    ++e->peer.at(op->target).ops_done;
+    note_op_completion_for_flushes(w, *op, /*local_event=*/false);
+    if (op->op_req) op->op_req->complete(world_.engine());
+    drive_epoch(w, e);
+}
+
+void Rma::note_op_completion_for_flushes(WinState& w, const RmaOp& op,
+                                         bool local_event) {
+    for (auto it = w.flushes.begin(); it != w.flushes.end();) {
+        FlushReq& f = *it;
+        const bool matches = (f.target < 0 || f.target == op.target) &&
+                             op.age <= f.age_limit &&
+                             f.local_only == local_event;
+        if (matches && f.pending > 0 && --f.pending == 0) {
+            f.req->complete(world_.engine());
+            it = w.flushes.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+// ======================================================== packet handling
+
+void Rma::send_grant(WinState& w, Rank to, std::uint64_t value) {
+    send_control(w.rank, to, kGrant, w.id, value);
+}
+
+void Rma::send_control(Rank src, Rank dst, std::uint32_t kind, std::uint32_t win,
+                       std::uint64_t h1, std::uint64_t h2) {
+    net::Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.kind = kind;
+    p.header[0] = win;
+    p.header[1] = h1;
+    p.header[2] = h2;
+    world_.fabric().send(std::move(p));
+}
+
+void Rma::handle_packet(Rank r, net::Packet&& p) {
+    NBE_TRACE("[%ld] r%d pkt kind=%u from=%d h1=%lu", (long)world_.engine().now(), r, p.kind, p.src, (unsigned long)p.header[1]);
+    WinState& w = ws(r, static_cast<std::uint32_t>(p.header[0]));
+    switch (p.kind) {
+        case kGrant: on_grant(w, p.src, p.header[1]); break;
+        case kDone: on_done(w, p.src, p.header[1]); break;
+        case kLockReq:
+            on_lock_req(w, p.src, static_cast<LockType>(p.header[1]));
+            break;
+        case kUnlock: on_unlock(w, p.src); break;
+        case kUnlockAck: on_unlock_ack(w, p.src); break;
+        case kData: on_data(w, std::move(p)); break;
+        case kGetReq: on_get_req(w, std::move(p)); break;
+        case kGetReply: on_get_reply(w, std::move(p)); break;
+        case kFenceDone: on_fence_done(w, p.header[1]); break;
+        case kAccRts: on_acc_rts(w, std::move(p)); break;
+        case kAccCts: on_acc_cts(w, std::move(p)); break;
+        default:
+            throw std::logic_error("unknown RMA packet kind " +
+                                   std::to_string(p.kind));
+    }
+}
+
+void Rma::on_grant(WinState& w, Rank from, std::uint64_t value) {
+    auto& g = w.g[static_cast<std::size_t>(from)];
+    g = std::max(g, value);
+    // The granted-access notification persists in the counter; any active
+    // origin-side epoch that was waiting can now proceed (§VII-B).
+    auto actives = w.active;  // drive may mutate the list
+    for (auto& e : actives) {
+        if (!e->origin_side()) continue;
+        auto it = e->peer.find(from);
+        if (it == e->peer.end() || it->second.granted) continue;
+        if (it->second.access_id <= g) {
+            it->second.granted = true;
+            drive_epoch(w, e);
+        }
+    }
+}
+
+void Rma::on_done(WinState& w, Rank from, std::uint64_t access_id) {
+    w.done[static_cast<std::size_t>(from)].add(access_id);
+    auto actives = w.active;
+    for (auto& e : actives) {
+        if (e->kind == EpochKind::Exposure) drive_epoch(w, e);
+    }
+}
+
+void Rma::on_lock_req(WinState& w, Rank from, LockType type) {
+    if (w.lockmgr.request(from, type)) {
+        const auto exp = ++w.e[static_cast<std::size_t>(from)];
+        send_grant(w, from, exp);
+    }
+}
+
+void Rma::on_unlock(WinState& w, Rank from) {
+    send_control(w.rank, from, kUnlockAck, w.id, 0);
+    for (const auto& waiter : w.lockmgr.release(from)) {
+        const auto exp = ++w.e[static_cast<std::size_t>(waiter.origin)];
+        send_grant(w, waiter.origin, exp);
+    }
+}
+
+void Rma::on_unlock_ack(WinState& w, Rank from) {
+    // Acks arrive in unlock order per pair; match the oldest pending one.
+    for (auto& e : w.active) {
+        if (e->kind != EpochKind::Lock && e->kind != EpochKind::LockAll) continue;
+        auto it = e->peer.find(from);
+        if (it == e->peer.end()) continue;
+        if (it->second.unlock_sent && !it->second.unlock_acked) {
+            it->second.unlock_acked = true;
+            drive_epoch(w, e);
+            return;
+        }
+    }
+    throw std::logic_error("unlock ack with no pending unlock");
+}
+
+void Rma::on_data(WinState& w, net::Packet&& p) {
+    const auto kind = static_cast<OpKind>(p.header[1]);
+    const std::size_t disp = p.header[2];
+    const std::uint64_t op_id = p.header[3];
+    const TypeId type = unpack_type(p.header[4]);
+    const ReduceOp rop = unpack_rop(p.header[4]);
+    const std::size_t esz = type_size(type);
+
+    switch (kind) {
+        case OpKind::Put:
+            if (disp + p.payload.size() > w.mem.size()) {
+                throw std::out_of_range("put beyond window bounds");
+            }
+            std::memcpy(w.mem.data() + disp, p.payload.data(), p.payload.size());
+            break;
+        case OpKind::Accumulate:
+            if (disp + p.payload.size() > w.mem.size()) {
+                throw std::out_of_range("accumulate beyond window bounds");
+            }
+            apply_reduce(rop, type, w.mem.data() + disp, p.payload.data(),
+                         p.payload.size() / esz);
+            break;
+        case OpKind::GetAccumulate:
+        case OpKind::FetchAndOp: {
+            if (disp + p.payload.size() > w.mem.size()) {
+                throw std::out_of_range("get_accumulate beyond window bounds");
+            }
+            net::Packet reply;
+            reply.src = w.rank;
+            reply.dst = p.src;
+            reply.kind = kGetReply;
+            reply.header[0] = w.id;
+            reply.header[3] = op_id;
+            reply.payload.assign(w.mem.data() + disp,
+                                 w.mem.data() + disp + p.payload.size());
+            apply_reduce(rop, type, w.mem.data() + disp, p.payload.data(),
+                         p.payload.size() / esz);
+            world_.fabric().send(std::move(reply));
+            break;
+        }
+        case OpKind::CompareAndSwap: {
+            if (disp + esz > w.mem.size()) {
+                throw std::out_of_range("compare_and_swap beyond window bounds");
+            }
+            net::Packet reply;
+            reply.src = w.rank;
+            reply.dst = p.src;
+            reply.kind = kGetReply;
+            reply.header[0] = w.id;
+            reply.header[3] = op_id;
+            reply.payload.assign(w.mem.data() + disp, w.mem.data() + disp + esz);
+            const std::byte* desired = p.payload.data();
+            const std::byte* compare = p.payload.data() + esz;
+            if (std::memcmp(w.mem.data() + disp, compare, esz) == 0) {
+                std::memcpy(w.mem.data() + disp, desired, esz);
+            }
+            world_.fabric().send(std::move(reply));
+            break;
+        }
+        case OpKind::Get:
+            throw std::logic_error("get must arrive as kGetReq");
+    }
+}
+
+void Rma::on_get_req(WinState& w, net::Packet&& p) {
+    const std::size_t disp = p.header[2];
+    const std::size_t bytes = p.header[5];
+    if (disp + bytes > w.mem.size()) {
+        throw std::out_of_range("get beyond window bounds");
+    }
+    net::Packet reply;
+    reply.src = w.rank;
+    reply.dst = p.src;
+    reply.kind = kGetReply;
+    reply.header[0] = w.id;
+    reply.header[3] = p.header[3];
+    reply.payload.assign(w.mem.data() + disp, w.mem.data() + disp + bytes);
+    world_.fabric().send(std::move(reply));
+}
+
+void Rma::on_get_reply(WinState& w, net::Packet&& p) {
+    const std::uint64_t op_id = p.header[3];
+    auto it = w.pending_replies.find(op_id);
+    if (it == w.pending_replies.end()) {
+        throw std::logic_error("get reply for unknown op");
+    }
+    auto [e, op] = it->second;
+    w.pending_replies.erase(it);
+    if (op->origin_out != nullptr) {
+        std::memcpy(op->origin_out, p.payload.data(), p.payload.size());
+    }
+    op->local_done = true;
+    note_op_completion_for_flushes(w, *op, /*local_event=*/true);
+    on_op_remote_complete(w, e, op);
+}
+
+void Rma::on_fence_done(WinState& w, std::uint64_t fence_seq) {
+    ++w.fence_dones[fence_seq];
+    auto actives = w.active;
+    for (auto& e : actives) {
+        if (e->kind == EpochKind::Fence && e->fence_seq == fence_seq) {
+            drive_epoch(w, e);
+        }
+    }
+}
+
+void Rma::on_acc_rts(WinState& w, net::Packet&& p) {
+    // Target allocates its intermediate buffer (modelled as latency only)
+    // and clears the origin to send.
+    send_control(w.rank, p.src, kAccCts, w.id, p.header[1]);
+}
+
+void Rma::on_acc_cts(WinState& w, net::Packet&& p) {
+    auto it = w.pending_acc_rndv.find(p.header[1]);
+    if (it == w.pending_acc_rndv.end()) {
+        throw std::logic_error("accumulate CTS for unknown op");
+    }
+    auto [e, op] = it->second;
+    w.pending_acc_rndv.erase(it);
+    send_op_data(w, e, op);
+    op->local_done = true;
+    note_op_completion_for_flushes(w, *op, /*local_event=*/true);
+}
+
+void Rma::sweep(Rank r) {
+    // The 7-step loop of §VII-D, restructured for an event-driven simulator:
+    //   1/2. outgoing completions and internode posting happen in fabric
+    //        events (on_acked / credit returns);
+    //   3.   batch epoch completion + deferred activation (below);
+    //   4/5. intranode posting and notification consumption happen in
+    //        delivery events;
+    //   6.   lock/unlock backlog is processed on packet arrival;
+    //   7.   batch completion again (the second scan below).
+    ++stats_[static_cast<std::size_t>(r)].sweeps;
+    for (auto& wptr : wins_[static_cast<std::size_t>(r)]) {
+        for (int scan = 0; scan < 2; ++scan) {
+            auto actives = wptr->active;
+            for (auto& e : actives) drive_epoch(*wptr, e);
+            activation_scan(*wptr);
+        }
+    }
+}
+
+}  // namespace nbe::rma

@@ -1,0 +1,135 @@
+// Core vocabulary types for the RMA library: epoch kinds, lock types,
+// communication op kinds, reduce ops, datatypes, and the window info flags
+// that control aggressive progression (paper Section VI-B).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace nbe::rma {
+
+/// The five epoch shapes of MPI one-sided communication.
+enum class EpochKind : std::uint8_t {
+    Fence,     ///< MPI_WIN_FENCE: simultaneous access+exposure on all ranks.
+    Access,    ///< GATS origin side (MPI_WIN_START / MPI_WIN_COMPLETE).
+    Exposure,  ///< GATS target side (MPI_WIN_POST / MPI_WIN_WAIT).
+    Lock,      ///< Passive target, single target (MPI_WIN_LOCK / UNLOCK).
+    LockAll,   ///< Passive target, all ranks (MPI_WIN_LOCK_ALL / UNLOCK_ALL).
+};
+
+[[nodiscard]] constexpr const char* to_string(EpochKind k) noexcept {
+    switch (k) {
+        case EpochKind::Fence: return "fence";
+        case EpochKind::Access: return "access";
+        case EpochKind::Exposure: return "exposure";
+        case EpochKind::Lock: return "lock";
+        case EpochKind::LockAll: return "lock_all";
+    }
+    return "?";
+}
+
+enum class LockType : std::uint8_t {
+    Exclusive,  ///< MPI_LOCK_EXCLUSIVE
+    Shared,     ///< MPI_LOCK_SHARED
+};
+
+/// RMA communication calls (MPI_PUT family).
+enum class OpKind : std::uint8_t {
+    Put,
+    Get,
+    Accumulate,
+    GetAccumulate,
+    FetchAndOp,
+    CompareAndSwap,
+};
+
+/// Reduction operators for accumulate-style calls.
+enum class ReduceOp : std::uint8_t {
+    Replace,  ///< MPI_REPLACE
+    NoOp,     ///< MPI_NO_OP (pure fetch in get_accumulate)
+    Sum,
+    Prod,
+    Min,
+    Max,
+    Band,
+    Bor,
+    Bxor,
+};
+
+/// Elementary datatypes supported by typed RMA calls.
+enum class TypeId : std::uint8_t { Byte, Int32, Int64, UInt64, Double };
+
+[[nodiscard]] constexpr std::size_t type_size(TypeId t) noexcept {
+    switch (t) {
+        case TypeId::Byte: return 1;
+        case TypeId::Int32: return 4;
+        case TypeId::Int64: return 8;
+        case TypeId::UInt64: return 8;
+        case TypeId::Double: return 8;
+    }
+    return 1;
+}
+
+template <typename T>
+struct TypeIdOf;
+template <> struct TypeIdOf<std::byte> { static constexpr TypeId value = TypeId::Byte; };
+template <> struct TypeIdOf<char> { static constexpr TypeId value = TypeId::Byte; };
+template <> struct TypeIdOf<unsigned char> { static constexpr TypeId value = TypeId::Byte; };
+template <> struct TypeIdOf<std::int32_t> { static constexpr TypeId value = TypeId::Int32; };
+template <> struct TypeIdOf<std::int64_t> { static constexpr TypeId value = TypeId::Int64; };
+template <> struct TypeIdOf<std::uint64_t> { static constexpr TypeId value = TypeId::UInt64; };
+template <> struct TypeIdOf<double> { static constexpr TypeId value = TypeId::Double; };
+
+/// Assertion hints for fence (subset of the MPI_MODE_* values).
+enum FenceAssert : unsigned {
+    kNoPrecede = 1u << 0,  ///< MPI_MODE_NOPRECEDE: fence does not close an epoch.
+    kNoSucceed = 1u << 1,  ///< MPI_MODE_NOSUCCEED: fence does not open an epoch.
+};
+
+/// Window info flags (paper Section VI-B). All default to disabled; enabling
+/// one lets the progress engine activate an epoch while a preceding epoch of
+/// the named combination is still active, allowing out-of-order progression
+/// and completion. They never apply across fence or lock-all adjacency.
+struct WinInfo {
+    bool access_after_access = false;      ///< A_A_A_R
+    bool access_after_exposure = false;    ///< A_A_E_R
+    bool exposure_after_exposure = false;  ///< E_A_E_R
+    bool exposure_after_access = false;    ///< E_A_A_R
+
+    /// Parses MPI-style info key/value pairs. Accepts both the full paper
+    /// names (e.g. "MPI_WIN_ACCESS_AFTER_ACCESS_REORDER") and the short
+    /// aliases ("A_A_A_R"); values "1"/"true" enable, "0"/"false" disable.
+    static WinInfo parse(const std::map<std::string, std::string>& kv);
+};
+
+inline WinInfo WinInfo::parse(const std::map<std::string, std::string>& kv) {
+    WinInfo info;
+    auto flag_value = [](const std::string& v) {
+        if (v == "1" || v == "true") return true;
+        if (v == "0" || v == "false") return false;
+        throw std::invalid_argument("WinInfo: bad flag value '" + v + "'");
+    };
+    for (const auto& [key, value] : kv) {
+        const bool on = flag_value(value);
+        if (key == "MPI_WIN_ACCESS_AFTER_ACCESS_REORDER" || key == "A_A_A_R") {
+            info.access_after_access = on;
+        } else if (key == "MPI_WIN_ACCESS_AFTER_EXPOSURE_REORDER" ||
+                   key == "A_A_E_R") {
+            info.access_after_exposure = on;
+        } else if (key == "MPI_WIN_EXPOSURE_AFTER_EXPOSURE_REORDER" ||
+                   key == "E_A_E_R") {
+            info.exposure_after_exposure = on;
+        } else if (key == "MPI_WIN_EXPOSURE_AFTER_ACCESS_REORDER" ||
+                   key == "E_A_A_R") {
+            info.exposure_after_access = on;
+        } else {
+            throw std::invalid_argument("WinInfo: unknown key '" + key + "'");
+        }
+    }
+    return info;
+}
+
+}  // namespace nbe::rma

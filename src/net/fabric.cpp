@@ -1,0 +1,123 @@
+#include "net/fabric.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace nbe::net {
+
+Fabric::Fabric(sim::Engine& engine, int nranks, FabricConfig cfg)
+    : engine_(engine),
+      nranks_(nranks),
+      cfg_(cfg),
+      handlers_(static_cast<std::size_t>(nranks)),
+      nic_tx_free_(static_cast<std::size_t>(nranks), 0),
+      shm_tx_free_(static_cast<std::size_t>(nranks), 0),
+      credits_(static_cast<std::size_t>(nranks), cfg.tx_credits),
+      stalled_(static_cast<std::size_t>(nranks)),
+      reg_(static_cast<std::size_t>(nranks)) {
+    if (nranks <= 0) throw std::invalid_argument("Fabric: nranks must be > 0");
+    if (cfg.ranks_per_node <= 0) {
+        throw std::invalid_argument("Fabric: ranks_per_node must be > 0");
+    }
+    if (cfg.tx_credits <= 0) {
+        throw std::invalid_argument("Fabric: tx_credits must be > 0");
+    }
+}
+
+void Fabric::set_handler(Rank r, Handler h) { handlers_.at(asz(r)) = std::move(h); }
+
+std::size_t Fabric::wire_bytes(const Packet& p) const noexcept {
+    if (p.payload.empty()) return cfg_.control_bytes;
+    return p.payload.size() + cfg_.header_bytes;
+}
+
+void Fabric::send(Packet&& p, sim::Duration extra_src_delay) {
+    if (p.src < 0 || p.src >= nranks_ || p.dst < 0 || p.dst >= nranks_) {
+        throw std::out_of_range("Fabric::send: rank out of range");
+    }
+    const bool internode = !same_node(p.src, p.dst);
+    if (internode) {
+        auto& cr = credits_[asz(p.src)];
+        if (cr == 0) {
+            ++stats_.credit_stalls;
+            stalled_[asz(p.src)].push_back(Stalled{std::move(p), extra_src_delay});
+            return;
+        }
+        --cr;
+    }
+    transmit(std::move(p), extra_src_delay);
+}
+
+void Fabric::transmit(Packet&& p, sim::Duration extra_src_delay) {
+    const bool internode = !same_node(p.src, p.dst);
+    const std::size_t bytes = wire_bytes(p);
+    const double bw = internode ? cfg_.inter_bandwidth : cfg_.intra_bandwidth;
+    const sim::Duration lat = internode ? cfg_.inter_latency : cfg_.intra_latency;
+    auto& tx_free =
+        internode ? nic_tx_free_[asz(p.src)] : shm_tx_free_[asz(p.src)];
+
+    const sim::Time ready = engine_.now() + cfg_.sw_overhead + extra_src_delay;
+    const sim::Time start = std::max(ready, tx_free);
+    const sim::Time end = start + sim::serialization_delay(bytes, bw);
+    tx_free = end;
+    const sim::Time delivered_at = end + lat;
+    const sim::Time acked_at = delivered_at + lat;
+
+    ++stats_.packets_sent;
+    stats_.bytes_sent += bytes;
+
+    // shared_ptr: the event std::function must be copyable.
+    auto boxed = std::make_shared<Packet>(std::move(p));
+    engine_.schedule_at(delivered_at, [this, boxed, acked_at] {
+        deliver(std::move(*boxed), acked_at);
+    });
+}
+
+void Fabric::deliver(Packet&& p, sim::Time acked_at) {
+    const Rank src = p.src;
+    const bool internode = !same_node(p.src, p.dst);
+    auto& handler = handlers_[asz(p.dst)];
+    if (!handler) {
+        throw std::logic_error("Fabric: no handler registered for rank " +
+                               std::to_string(p.dst));
+    }
+    auto on_acked = std::move(p.on_acked);
+    handler(std::move(p));
+    engine_.schedule_at(acked_at, [this, src, internode,
+                                   cb = std::move(on_acked), acked_at] {
+        if (internode) return_credit(src);
+        if (cb) cb(acked_at);
+    });
+}
+
+void Fabric::return_credit(Rank src) {
+    auto& q = stalled_[asz(src)];
+    if (!q.empty()) {
+        // Hand the credit straight to the oldest stalled packet.
+        Stalled s = std::move(q.front());
+        q.pop_front();
+        transmit(std::move(s.packet), s.extra_delay);
+    } else {
+        ++credits_[asz(src)];
+    }
+}
+
+sim::Duration Fabric::pin(Rank r, std::uint64_t key, std::size_t bytes) {
+    if (bytes < cfg_.pin_threshold || cfg_.reg_cache_capacity == 0) return 0;
+    auto& cache = reg_[asz(r)];
+    if (auto it = cache.map.find(key); it != cache.map.end()) {
+        cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+        ++stats_.pin_hits;
+        return 0;
+    }
+    ++stats_.pin_misses;
+    cache.lru.push_front(key);
+    cache.map[key] = cache.lru.begin();
+    if (cache.lru.size() > cfg_.reg_cache_capacity) {
+        cache.map.erase(cache.lru.back());
+        cache.lru.pop_back();
+    }
+    return cfg_.pin_cost;
+}
+
+}  // namespace nbe::net

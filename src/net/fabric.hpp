@@ -1,0 +1,101 @@
+// Simulated cluster fabric: internode links with NIC TX serialization and
+// flow-control credits, intranode shared-memory channels, and a per-rank
+// memory-registration cache.
+//
+// Timing model per packet:
+//   tx_start = max(now + sw_overhead + extra_delay, tx_free[src])
+//   tx_free[src] = tx_start + wire_bytes / bandwidth
+//   delivered_at = tx_free[src] + latency
+//   acked_at     = delivered_at + latency     (initiator-side completion)
+//
+// Internode packets additionally consume a source-NIC credit that returns
+// at acked_at; when credits are exhausted the packet queues at the source
+// and posting stalls — this is the flow-control behaviour the paper blames
+// for the 512-process flattening in Figure 12.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "net/config.hpp"
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace nbe::net {
+
+class Fabric {
+public:
+    using Handler = std::function<void(Packet&&)>;
+
+    Fabric(sim::Engine& engine, int nranks, FabricConfig cfg);
+
+    /// Registers the delivery handler for a rank. Must be set before any
+    /// packet addressed to that rank is delivered.
+    void set_handler(Rank r, Handler h);
+
+    /// Sends a packet. `extra_src_delay` is charged at the source before
+    /// transmission (e.g., registration-pin cost).
+    void send(Packet&& p, sim::Duration extra_src_delay = 0);
+
+    [[nodiscard]] int nranks() const noexcept { return nranks_; }
+    [[nodiscard]] int node_of(Rank r) const noexcept {
+        return r / cfg_.ranks_per_node;
+    }
+    [[nodiscard]] bool same_node(Rank a, Rank b) const noexcept {
+        return node_of(a) == node_of(b);
+    }
+    [[nodiscard]] const FabricConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+    /// Registration-cache lookup for a source buffer. Returns the pin delay
+    /// to charge (0 on hit or for small buffers) and updates the LRU cache.
+    sim::Duration pin(Rank r, std::uint64_t key, std::size_t bytes);
+
+    /// Available internode TX credits for a rank.
+    [[nodiscard]] int credits(Rank r) const { return credits_.at(asz(r)); }
+
+    struct Stats {
+        std::uint64_t packets_sent = 0;
+        std::uint64_t bytes_sent = 0;
+        std::uint64_t credit_stalls = 0;  ///< packets that had to queue
+        std::uint64_t pin_hits = 0;
+        std::uint64_t pin_misses = 0;
+    };
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+private:
+    static std::size_t asz(Rank r) { return static_cast<std::size_t>(r); }
+
+    void transmit(Packet&& p, sim::Duration extra_src_delay);
+    void deliver(Packet&& p, sim::Time acked_at);
+    void return_credit(Rank src);
+    [[nodiscard]] std::size_t wire_bytes(const Packet& p) const noexcept;
+
+    sim::Engine& engine_;
+    int nranks_;
+    FabricConfig cfg_;
+    std::vector<Handler> handlers_;
+    std::vector<sim::Time> nic_tx_free_;  // internode TX availability
+    std::vector<sim::Time> shm_tx_free_;  // intranode copy availability
+    std::vector<int> credits_;
+    struct Stalled {
+        Packet packet;
+        sim::Duration extra_delay;
+    };
+    std::vector<std::deque<Stalled>> stalled_;
+
+    struct RegCache {
+        std::list<std::uint64_t> lru;  // front = most recent
+        std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map;
+    };
+    std::vector<RegCache> reg_;
+
+    Stats stats_;
+};
+
+}  // namespace nbe::net

@@ -1,0 +1,35 @@
+// Wire-level packet for the simulated fabric.
+//
+// The fabric is deliberately payload-agnostic: `kind` and `header` are
+// interpreted by the layer above (two-sided runtime or RMA engine). Bulk
+// data rides in `payload`; control packets leave it empty and are accounted
+// at a fixed small wire size, mirroring the 64-bit notification packets the
+// paper's design exchanges between windows.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nbe::net {
+
+using Rank = int;
+
+struct Packet {
+    Rank src = -1;
+    Rank dst = -1;
+    std::uint32_t kind = 0;                  ///< Upper-layer discriminator.
+    std::array<std::uint64_t, 6> header{};   ///< Small control fields.
+    std::vector<std::byte> payload;          ///< Bulk data (may be empty).
+
+    /// Invoked on the source side once the destination has the packet and
+    /// the (simulated) hardware ack has returned — the moment an RDMA
+    /// initiator would see a work completion for this transfer.
+    std::function<void(sim::Time acked_at)> on_acked;
+};
+
+}  // namespace nbe::net

@@ -1,0 +1,48 @@
+// Job-level configuration: rank count, fabric parameters, and which of the
+// paper's three evaluated RMA implementations the job runs.
+#pragma once
+
+#include <cstdint>
+
+#include "net/config.hpp"
+#include "sim/time.hpp"
+
+namespace nbe::rt {
+
+/// The three test series of the paper's evaluation (Section VIII).
+enum class Mode {
+    /// Vanilla MVAPICH 2-1.9 behaviour: lazy passive-target lock acquisition
+    /// (the whole epoch degenerates to the unlock call) and epoch-closing
+    /// transfer batching (wait for all internode targets, then all intranode
+    /// targets). Blocking synchronizations only.
+    Mvapich,
+    /// The paper's redesigned engine with blocking synchronizations ("New").
+    NewBlocking,
+    /// The redesigned engine with the full nonblocking API
+    /// ("New nonblocking").
+    NewNonblocking,
+};
+
+[[nodiscard]] constexpr const char* to_string(Mode m) noexcept {
+    switch (m) {
+        case Mode::Mvapich: return "MVAPICH";
+        case Mode::NewBlocking: return "New";
+        case Mode::NewNonblocking: return "New nonblocking";
+    }
+    return "?";
+}
+
+struct JobConfig {
+    int ranks = 2;
+    Mode mode = Mode::NewNonblocking;
+    net::FabricConfig fabric{};
+    std::uint64_t seed = 0x6e6265ULL;  // "nbe"
+
+    /// CPU cost charged for each runtime/RMA API call (the paper's epsilon).
+    sim::Duration call_overhead = sim::nanoseconds(200);
+
+    /// Payload size at or above which two-sided messages use rendezvous.
+    std::size_t eager_threshold = 16384;
+};
+
+}  // namespace nbe::rt

@@ -1,0 +1,85 @@
+// Request handles — the MPI_Request analogue shared by the two-sided
+// runtime and the RMA core.
+//
+// A Request is a cheap copyable handle onto shared completion state. The
+// paper's nonblocking synchronizations return these; completion is detected
+// with the wait/test family exactly as for MPI_Isend (Section IV).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace nbe::rt {
+
+/// Shared completion state behind a Request handle.
+class RequestState {
+public:
+    /// Marks the request complete and wakes all waiters. Idempotent.
+    void complete(sim::Engine& engine) {
+        if (!complete_) {
+            complete_ = true;
+            cond_.notify_all(engine);
+        }
+    }
+
+    [[nodiscard]] bool is_complete() const noexcept { return complete_; }
+
+    /// Parks the process until complete (progress is autonomous).
+    void wait(sim::Process& p) {
+        cond_.wait_until(p, [this] { return complete_; });
+    }
+
+    /// Creates a state that is already complete — the paper's "dummy request
+    /// flagged as completed at creation time" returned by every nonblocking
+    /// epoch-*opening* routine (Section VII-C).
+    static std::shared_ptr<RequestState> completed() {
+        auto st = std::make_shared<RequestState>();
+        st->complete_ = true;
+        return st;
+    }
+
+private:
+    bool complete_ = false;
+    sim::Condition cond_;
+};
+
+/// Application-level request handle (MPI_Request analogue).
+class Request {
+public:
+    Request() = default;
+    explicit Request(std::shared_ptr<RequestState> st) : st_(std::move(st)) {}
+
+    [[nodiscard]] bool valid() const noexcept { return st_ != nullptr; }
+
+    /// Nonblocking completion probe (MPI_Test analogue).
+    [[nodiscard]] bool test() const {
+        check();
+        return st_->is_complete();
+    }
+
+    /// Blocks (in virtual time) until the operation completes.
+    void wait(sim::Process& p) {
+        check();
+        st_->wait(p);
+    }
+
+    /// Waits for every request in the span.
+    static void wait_all(sim::Process& p, std::span<Request> reqs) {
+        for (auto& r : reqs) r.wait(p);
+    }
+
+    [[nodiscard]] const std::shared_ptr<RequestState>& state() const {
+        return st_;
+    }
+
+private:
+    void check() const {
+        if (!st_) throw std::logic_error("operation on null Request");
+    }
+    std::shared_ptr<RequestState> st_;
+};
+
+}  // namespace nbe::rt

@@ -1,0 +1,281 @@
+#include "rt/world.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace nbe::rt {
+
+World::World(JobConfig cfg)
+    : cfg_(cfg), engine_(), fabric_(engine_, cfg.ranks, cfg.fabric) {
+    ctxs_.reserve(static_cast<std::size_t>(cfg.ranks));
+    for (Rank r = 0; r < cfg.ranks; ++r) {
+        ctxs_.push_back(std::make_unique<RankCtx>(r, cfg.seed));
+        fabric_.set_handler(r, [this, r](net::Packet&& p) {
+            handle_packet(r, std::move(p));
+        });
+    }
+}
+
+void World::run(std::function<void(Process&)> rank_main) {
+    for (Rank r = 0; r < cfg_.ranks; ++r) {
+        engine_.spawn("rank" + std::to_string(r),
+                      [this, r, rank_main](sim::Process& sp) {
+                          Process p(*this, sp, r);
+                          rank_main(p);
+                      });
+    }
+    engine_.run();
+}
+
+void World::set_rma_handler(Rank r, net::Fabric::Handler h) {
+    ctx(r).rma_handler = std::move(h);
+}
+
+// ------------------------------------------------------------- dispatch
+
+void World::handle_packet(Rank r, net::Packet&& p) {
+    if (p.kind >= kRmaKindBase) {
+        auto& h = ctx(r).rma_handler;
+        if (!h) {
+            throw std::logic_error("RMA packet delivered to rank " +
+                                   std::to_string(r) +
+                                   " with no RMA handler installed");
+        }
+        h(std::move(p));
+        return;
+    }
+    RankCtx& c = ctx(r);
+    switch (p.kind) {
+        case kEager: on_eager(c, std::move(p)); break;
+        case kRts: on_rts(c, std::move(p)); break;
+        case kCts: on_cts(c, std::move(p)); break;
+        case kRndvData: on_rndv_data(c, std::move(p)); break;
+        default:
+            throw std::logic_error("unknown two-sided packet kind " +
+                                   std::to_string(p.kind));
+    }
+}
+
+bool World::matches(const RecvOp& op, Rank src, int tag) noexcept {
+    return (op.src_filter == kAnySource || op.src_filter == src) &&
+           (op.tag_filter == kAnyTag || op.tag_filter == tag);
+}
+
+void World::copy_into(const RecvOp& op, const std::byte* data, std::size_t n) {
+    const std::size_t take = std::min(n, op.cap);
+    if (take > 0) std::memcpy(op.buf, data, take);
+    if (op.got) *op.got = take;
+}
+
+// --------------------------------------------------------------- sending
+
+Request World::isend(Rank src, const void* buf, std::size_t n, Rank dst,
+                     int tag) {
+    RankCtx& c = ctx(src);
+    if (n < cfg_.eager_threshold) {
+        net::Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.kind = kEager;
+        p.header[0] = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+        p.header[2] = n;
+        p.payload.resize(n);
+        if (n > 0) std::memcpy(p.payload.data(), buf, n);
+        fabric_.send(std::move(p));
+        return Request(RequestState::completed());  // buffered at the source
+    }
+    // Rendezvous: RTS now, data after CTS.
+    const std::uint64_t id = c.next_id++;
+    SendOp op;
+    op.data.resize(n);
+    std::memcpy(op.data.data(), buf, n);
+    op.dst = dst;
+    op.req = std::make_shared<RequestState>();
+    Request out(op.req);
+    c.rndv_send.emplace(id, std::move(op));
+
+    net::Packet rts;
+    rts.src = src;
+    rts.dst = dst;
+    rts.kind = kRts;
+    rts.header[0] = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+    rts.header[1] = id;
+    rts.header[2] = n;
+    fabric_.send(std::move(rts));
+    return out;
+}
+
+Request World::irecv(Rank dst, void* buf, std::size_t cap, Rank src, int tag,
+                     std::size_t* got) {
+    RankCtx& c = ctx(dst);
+    auto op = std::make_shared<RecvOp>();
+    op->src_filter = src;
+    op->tag_filter = tag;
+    op->buf = static_cast<std::byte*>(buf);
+    op->cap = cap;
+    op->got = got;
+    op->id = c.next_id++;
+    op->req = std::make_shared<RequestState>();
+
+    // Try the unexpected queue first (oldest match wins).
+    for (auto it = c.unexpected.begin(); it != c.unexpected.end(); ++it) {
+        if (!matches(*op, it->src, it->tag)) continue;
+        if (it->rndv) {
+            c.rndv_recv.emplace(op->id, op);
+            send_cts(c, it->src, it->send_id, op->id);
+        } else {
+            copy_into(*op, it->data.data(), it->data.size());
+            op->req->complete(engine_);
+        }
+        c.unexpected.erase(it);
+        return Request(op->req);
+    }
+    c.posted.push_back(op);
+    return Request(op->req);
+}
+
+void World::send_cts(RankCtx& c, Rank to, std::uint64_t send_id,
+                     std::uint64_t recv_id) {
+    net::Packet cts;
+    cts.src = c.rank;
+    cts.dst = to;
+    cts.kind = kCts;
+    cts.header[1] = send_id;
+    cts.header[3] = recv_id;
+    fabric_.send(std::move(cts));
+}
+
+// -------------------------------------------------------------- arrivals
+
+void World::on_eager(RankCtx& c, net::Packet&& p) {
+    const int tag = static_cast<int>(static_cast<std::int64_t>(p.header[0]));
+    for (auto it = c.posted.begin(); it != c.posted.end(); ++it) {
+        if (matches(**it, p.src, tag)) {
+            auto op = *it;
+            c.posted.erase(it);
+            copy_into(*op, p.payload.data(), p.payload.size());
+            op->req->complete(engine_);
+            return;
+        }
+    }
+    Unexpected u;
+    u.src = p.src;
+    u.tag = tag;
+    u.size = p.payload.size();
+    u.data = std::move(p.payload);
+    c.unexpected.push_back(std::move(u));
+}
+
+void World::on_rts(RankCtx& c, net::Packet&& p) {
+    const int tag = static_cast<int>(static_cast<std::int64_t>(p.header[0]));
+    const std::uint64_t send_id = p.header[1];
+    for (auto it = c.posted.begin(); it != c.posted.end(); ++it) {
+        if (matches(**it, p.src, tag)) {
+            auto op = *it;
+            c.posted.erase(it);
+            c.rndv_recv.emplace(op->id, op);
+            send_cts(c, p.src, send_id, op->id);
+            return;
+        }
+    }
+    Unexpected u;
+    u.src = p.src;
+    u.tag = tag;
+    u.rndv = true;
+    u.send_id = send_id;
+    u.size = p.header[2];
+    c.unexpected.push_back(std::move(u));
+}
+
+void World::on_cts(RankCtx& c, net::Packet&& p) {
+    const std::uint64_t send_id = p.header[1];
+    auto it = c.rndv_send.find(send_id);
+    if (it == c.rndv_send.end()) {
+        throw std::logic_error("CTS for unknown rendezvous send");
+    }
+    SendOp op = std::move(it->second);
+    c.rndv_send.erase(it);
+
+    const auto pin_delay = fabric_.pin(
+        c.rank, send_id ^ 0x5244564eULL /*"RDVN"*/, op.data.size());
+    net::Packet data;
+    data.src = c.rank;
+    data.dst = op.dst;
+    data.kind = kRndvData;
+    data.header[3] = p.header[3];  // recv_id
+    data.payload = std::move(op.data);
+    auto req = op.req;
+    data.on_acked = [this, req](sim::Time) { req->complete(engine_); };
+    fabric_.send(std::move(data), pin_delay);
+}
+
+void World::on_rndv_data(RankCtx& c, net::Packet&& p) {
+    const std::uint64_t recv_id = p.header[3];
+    auto it = c.rndv_recv.find(recv_id);
+    if (it == c.rndv_recv.end()) {
+        throw std::logic_error("rendezvous data for unknown receive");
+    }
+    auto op = it->second;
+    c.rndv_recv.erase(it);
+    copy_into(*op, p.payload.data(), p.payload.size());
+    op->req->complete(engine_);
+}
+
+// -------------------------------------------------------------- Process
+
+void Process::charge_call() {
+    sp_.advance(world_.config().call_overhead);
+}
+
+Request Process::isend(const void* buf, std::size_t n, Rank dst, int tag) {
+    MpiSection sec(*this);
+    charge_call();
+    return world_.isend(rank_, buf, n, dst, tag);
+}
+
+Request Process::irecv(void* buf, std::size_t cap, Rank src, int tag,
+                       std::size_t* got) {
+    MpiSection sec(*this);
+    charge_call();
+    return world_.irecv(rank_, buf, cap, src, tag, got);
+}
+
+void Process::send(const void* buf, std::size_t n, Rank dst, int tag) {
+    MpiSection sec(*this);
+    charge_call();
+    Request r = world_.isend(rank_, buf, n, dst, tag);
+    r.wait(sp_);
+}
+
+void Process::recv(void* buf, std::size_t cap, Rank src, int tag,
+                   std::size_t* got) {
+    MpiSection sec(*this);
+    charge_call();
+    Request r = world_.irecv(rank_, buf, cap, src, tag, got);
+    r.wait(sp_);
+}
+
+void Process::barrier() {
+    MpiSection sec(*this);
+    charge_call();
+    const int n = size();
+    if (n == 1) return;
+    auto& gen = world_.ctx(rank_).barrier_gen;
+    // Tag space reserved for internal collectives; generation wraps far
+    // beyond any plausible number of concurrently pending barriers.
+    const int base = (1 << 24) + static_cast<int>(gen % 4096) * 64;
+    ++gen;
+    int round = 0;
+    for (int k = 1; k < n; k <<= 1, ++round) {
+        const int tag = base + round;
+        const Rank to = static_cast<Rank>((rank_ + k) % n);
+        const Rank from = static_cast<Rank>(((rank_ - k) % n + n) % n);
+        char dummy = 0;
+        Request rr = world_.irecv(rank_, &dummy, 1, from, tag);
+        world_.isend(rank_, &dummy, 1, to, tag);
+        rr.wait(sp_);
+    }
+}
+
+}  // namespace nbe::rt

@@ -1,0 +1,197 @@
+// The simulated job: engine + fabric + per-rank runtime state, and the
+// two-sided message layer (eager/rendezvous) the paper's tests rely on.
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "rt/config.hpp"
+#include "rt/request.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace nbe::rt {
+
+using Rank = net::Rank;
+
+/// Any source / any tag wildcard for receives.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Per-rank bookkeeping published to benches (Figure 13 b/d needs the
+/// fraction of time spent inside communication calls).
+struct RankStats {
+    sim::Duration time_in_mpi = 0;
+    std::uint64_t mpi_calls = 0;
+};
+
+class Process;
+
+/// Owns the engine, fabric and per-rank state for one simulated job.
+class World {
+public:
+    explicit World(JobConfig cfg);
+
+    World(const World&) = delete;
+    World& operator=(const World&) = delete;
+
+    /// Process bodies reference per-rank contexts; stop them before any
+    /// member state is torn down.
+    ~World() { engine_.shutdown(); }
+
+    /// Spawns `cfg.ranks` simulated processes running `rank_main` and runs
+    /// the simulation to completion.
+    void run(std::function<void(Process&)> rank_main);
+
+    [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+    [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+    [[nodiscard]] const JobConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] int nranks() const noexcept { return cfg_.ranks; }
+
+    /// Routes packets with kind >= kRmaKindBase to the RMA engine.
+    static constexpr std::uint32_t kRmaKindBase = 100;
+    void set_rma_handler(Rank r, net::Fabric::Handler h);
+
+    [[nodiscard]] RankStats& stats(Rank r) { return ctx(r).stats; }
+    [[nodiscard]] sim::Xoshiro256& rng(Rank r) { return ctx(r).rng; }
+
+    // ---- two-sided messaging (used by Process; callable in-engine) ----
+    Request isend(Rank src, const void* buf, std::size_t n, Rank dst, int tag);
+    Request irecv(Rank dst, void* buf, std::size_t cap, Rank src, int tag,
+                  std::size_t* got = nullptr);
+
+private:
+    friend class Process;
+
+    enum PacketKind : std::uint32_t {
+        kEager = 1,
+        kRts = 2,
+        kCts = 3,
+        kRndvData = 4,
+    };
+
+    struct RecvOp {
+        int src_filter = kAnySource;
+        int tag_filter = kAnyTag;
+        std::byte* buf = nullptr;
+        std::size_t cap = 0;
+        std::size_t* got = nullptr;
+        std::uint64_t id = 0;
+        std::shared_ptr<RequestState> req;
+    };
+
+    struct Unexpected {
+        Rank src = -1;
+        int tag = 0;
+        bool rndv = false;
+        std::uint64_t send_id = 0;
+        std::size_t size = 0;
+        std::vector<std::byte> data;
+    };
+
+    struct SendOp {
+        std::vector<std::byte> data;
+        Rank dst = -1;
+        std::shared_ptr<RequestState> req;
+    };
+
+    struct RankCtx {
+        Rank rank = -1;
+        sim::Xoshiro256 rng;
+        RankStats stats;
+        std::deque<Unexpected> unexpected;
+        std::vector<std::shared_ptr<RecvOp>> posted;
+        std::unordered_map<std::uint64_t, std::shared_ptr<RecvOp>> rndv_recv;
+        std::unordered_map<std::uint64_t, SendOp> rndv_send;
+        std::uint64_t next_id = 1;
+        std::uint64_t barrier_gen = 0;
+        net::Fabric::Handler rma_handler;
+
+        explicit RankCtx(Rank r, std::uint64_t seed)
+            : rank(r), rng(seed ^ (0x9e3779b97f4a7c15ULL * (r + 1))) {}
+    };
+
+    RankCtx& ctx(Rank r) { return *ctxs_.at(static_cast<std::size_t>(r)); }
+
+    void handle_packet(Rank r, net::Packet&& p);
+    void on_eager(RankCtx& c, net::Packet&& p);
+    void on_rts(RankCtx& c, net::Packet&& p);
+    void on_cts(RankCtx& c, net::Packet&& p);
+    void on_rndv_data(RankCtx& c, net::Packet&& p);
+    void send_cts(RankCtx& c, Rank to, std::uint64_t send_id,
+                  std::uint64_t recv_id);
+    static void copy_into(const RecvOp& op, const std::byte* data,
+                          std::size_t n);
+    static bool matches(const RecvOp& op, Rank src, int tag) noexcept;
+
+    JobConfig cfg_;
+    sim::Engine engine_;
+    net::Fabric fabric_;
+    std::vector<std::unique_ptr<RankCtx>> ctxs_;
+};
+
+/// Application-facing handle for one simulated MPI rank.
+class Process {
+public:
+    Process(World& world, sim::Process& sp, Rank rank)
+        : world_(world), sp_(sp), rank_(rank) {}
+
+    [[nodiscard]] Rank rank() const noexcept { return rank_; }
+    [[nodiscard]] int size() const noexcept { return world_.nranks(); }
+    [[nodiscard]] sim::Time now() const noexcept { return sp_.now(); }
+    [[nodiscard]] double now_us() const noexcept { return sim::to_usec(sp_.now()); }
+
+    /// Perform `d` of application computation (not counted as MPI time).
+    void compute(sim::Duration d) { sp_.advance(d); }
+
+    /// Deterministic per-rank random stream.
+    [[nodiscard]] sim::Xoshiro256& rng() { return world_.rng(rank_); }
+
+    // ---- two-sided API ----
+    Request isend(const void* buf, std::size_t n, Rank dst, int tag);
+    Request irecv(void* buf, std::size_t cap, Rank src, int tag,
+                  std::size_t* got = nullptr);
+    void send(const void* buf, std::size_t n, Rank dst, int tag);
+    void recv(void* buf, std::size_t cap, Rank src, int tag,
+              std::size_t* got = nullptr);
+
+    /// Dissemination barrier over all ranks in the job.
+    void barrier();
+
+    [[nodiscard]] RankStats& stats() { return world_.stats(rank_); }
+    [[nodiscard]] World& world() noexcept { return world_; }
+    [[nodiscard]] sim::Process& sim_process() noexcept { return sp_; }
+
+    /// Charges the per-call CPU overhead (the paper's epsilon) and records
+    /// an MPI call. Used by the RMA core as well.
+    void charge_call();
+
+private:
+    friend class MpiSection;
+    World& world_;
+    sim::Process& sp_;
+    Rank rank_;
+};
+
+/// RAII section accounting virtual time spent inside communication calls.
+class MpiSection {
+public:
+    explicit MpiSection(Process& p) : p_(p), t0_(p.now()) {}
+    ~MpiSection() {
+        p_.stats().time_in_mpi += p_.now() - t0_;
+        ++p_.stats().mpi_calls;
+    }
+    MpiSection(const MpiSection&) = delete;
+    MpiSection& operator=(const MpiSection&) = delete;
+
+private:
+    Process& p_;
+    sim::Time t0_;
+};
+
+}  // namespace nbe::rt

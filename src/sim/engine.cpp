@@ -1,0 +1,202 @@
+#include "sim/engine.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace nbe::sim {
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Engine& engine, std::string name,
+                 std::function<void(Process&)> body)
+    : engine_(engine), name_(std::move(name)), body_(std::move(body)) {
+    start_thread();
+}
+
+Process::~Process() {
+    if (thread_.joinable()) {
+        kill();
+        thread_.join();
+    }
+}
+
+Time Process::now() const noexcept { return engine_.now(); }
+
+void Process::start_thread() {
+    thread_ = std::thread([this] {
+        {
+            std::unique_lock lk(mu_);
+            cv_.wait(lk, [&] { return process_turn_; });
+        }
+        if (!killing_) {
+            started_ = true;
+            try {
+                body_(*this);
+            } catch (ProcessKilled&) {
+                // Engine teardown: unwind silently.
+            } catch (const std::exception& e) {
+                failed_ = true;
+                failure_ = e.what();
+            } catch (...) {
+                failed_ = true;
+                failure_ = "unknown exception";
+            }
+        }
+        {
+            std::lock_guard lk(mu_);
+            finished_ = true;
+            process_turn_ = false;
+        }
+        cv_.notify_all();
+    });
+}
+
+void Process::resume() {
+    assert(!finished_);
+    {
+        std::lock_guard lk(mu_);
+        process_turn_ = true;
+    }
+    cv_.notify_all();
+    {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return !process_turn_; });
+    }
+}
+
+void Process::park() {
+    {
+        std::lock_guard lk(mu_);
+        process_turn_ = false;
+    }
+    cv_.notify_all();
+    {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return process_turn_; });
+    }
+    if (killing_) throw ProcessKilled{};
+}
+
+void Process::kill() {
+    if (finished_) return;
+    {
+        std::lock_guard lk(mu_);
+        killing_ = true;
+        process_turn_ = true;
+    }
+    cv_.notify_all();
+    {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return finished_; });
+    }
+}
+
+void Process::advance(Duration d) {
+    if (d < 0) d = 0;
+    parked_ = false;
+    engine_.schedule_at(engine_.now() + d, [this] {
+        resume();
+        if (failed_) engine_.note_failure(name_ + ": " + failure_);
+    });
+    park();
+}
+
+void Process::yield() { advance(0); }
+
+// ----------------------------------------------------------------- Engine
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+    for (auto& p : processes_) {
+        if (!p->finished()) p->kill();
+    }
+    processes_.clear();  // joins threads
+}
+
+void Engine::schedule_at(Time at, std::function<void()> fn) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
+                       Time start) {
+    processes_.push_back(
+        std::make_unique<Process>(*this, std::move(name), std::move(body)));
+    Process* p = processes_.back().get();
+    schedule_at(start, [this, p] {
+        p->resume();
+        if (p->failed()) note_failure(p->name() + ": " + p->failure());
+    });
+    return *p;
+}
+
+void Engine::run() {
+    running_ = true;
+    while (!queue_.empty() && !have_failure_) {
+        // priority_queue::top() is const; move out via const_cast on the
+        // callable only (the key fields stay untouched before pop).
+        auto fn = std::move(const_cast<Event&>(queue_.top()).fn);
+        const Time at = queue_.top().at;
+        queue_.pop();
+        now_ = at;
+        ++executed_;
+        fn();
+    }
+    running_ = false;
+    if (have_failure_) {
+        throw std::runtime_error("simulated process failed: " + first_failure_);
+    }
+    std::size_t parked = 0;
+    std::ostringstream names;
+    for (const auto& p : processes_) {
+        if (!p->finished() && p->parked_) {
+            if (parked++ < 8) names << (parked > 1 ? ", " : "") << p->name();
+        }
+    }
+    if (parked > 0) {
+        std::ostringstream msg;
+        msg << "simulation deadlock: " << parked
+            << " process(es) parked with no pending events [" << names.str()
+            << "]";
+        throw DeadlockError(msg.str());
+    }
+}
+
+std::size_t Engine::live_process_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : processes_) {
+        if (!p->finished()) ++n;
+    }
+    return n;
+}
+
+void Engine::note_failure(std::string what) {
+    if (!have_failure_) {
+        have_failure_ = true;
+        first_failure_ = std::move(what);
+    }
+}
+
+// -------------------------------------------------------------- Condition
+
+void Condition::wait(Process& p) {
+    waiters_.push_back(&p);
+    p.parked_ = true;
+    p.park();
+}
+
+void Condition::notify_all(Engine& engine) {
+    if (waiters_.empty()) return;
+    std::vector<Process*> woken;
+    woken.swap(waiters_);
+    for (Process* w : woken) {
+        w->parked_ = false;
+        engine.schedule_at(engine.now(), [w, &engine] {
+            w->resume();
+            if (w->failed()) engine.note_failure(w->name() + ": " + w->failure());
+        });
+    }
+}
+
+}  // namespace nbe::sim

@@ -1,0 +1,194 @@
+// Discrete-event simulation engine with thread-backed simulated processes.
+//
+// The engine owns a virtual clock and an event queue. Simulated processes
+// (one OS thread each) run *cooperatively*: exactly one thread — either the
+// engine thread or one simulated process — executes at any instant, handing
+// control back and forth through a mutex/condvar pair per process. Because
+// execution is strictly serial, simulation state needs no further locking;
+// determinism follows from the (time, sequence) total order on events.
+//
+// A process blocks in virtual time by calling Process::advance (compute for
+// a fixed duration), Process::yield (reschedule at the same timestamp), or
+// Condition::wait (park until notified). Events scheduled by middleware
+// callbacks run on the engine thread and must not block.
+#pragma once
+
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nbe::sim {
+
+class Engine;
+class Process;
+
+/// Thrown inside a simulated process when the engine tears down while the
+/// process is still parked; unwinds the process stack cleanly.
+struct ProcessKilled {};
+
+/// Error thrown when the event queue drains while processes are still
+/// parked — the simulated job deadlocked.
+class DeadlockError : public std::runtime_error {
+public:
+    explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A simulated process. Runs its body on a dedicated OS thread, but only
+/// while the engine has handed it control. All member functions that park
+/// (advance/yield/wait) must be called from the process's own thread.
+class Process {
+public:
+    Process(Engine& engine, std::string name, std::function<void(Process&)> body);
+    ~Process();
+
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+
+    /// Current virtual time.
+    [[nodiscard]] Time now() const noexcept;
+
+    /// Consume `d` of virtual CPU time (models computation / work).
+    void advance(Duration d);
+
+    /// Reschedule at the current timestamp, after already-queued events.
+    void yield();
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] bool finished() const noexcept { return finished_; }
+    [[nodiscard]] bool failed() const noexcept { return failed_; }
+    [[nodiscard]] const std::string& failure() const noexcept { return failure_; }
+
+    Engine& engine() noexcept { return engine_; }
+
+private:
+    friend class Engine;
+    friend class Condition;
+
+    void start_thread();
+    /// Engine side: transfer control to the process until it parks/finishes.
+    void resume();
+    /// Process side: give control back to the engine and wait to be resumed.
+    void park();
+    /// Engine side (teardown): wake a parked process with ProcessKilled.
+    void kill();
+
+    Engine& engine_;
+    std::string name_;
+    std::function<void(Process&)> body_;
+    std::thread thread_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool process_turn_ = false;  // true: the process thread may run
+    bool killing_ = false;
+    bool started_ = false;
+    bool finished_ = false;
+    bool failed_ = false;
+    bool parked_ = false;  // parked and not scheduled for resumption
+    std::string failure_;
+};
+
+/// The event queue + virtual clock. Construct, spawn processes, run().
+class Engine {
+public:
+    Engine() = default;
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    [[nodiscard]] Time now() const noexcept { return now_; }
+
+    /// Schedule `fn` to run on the engine thread at absolute time `at`
+    /// (clamped to now). Callable from the engine thread or from the
+    /// currently running process.
+    void schedule_at(Time at, std::function<void()> fn);
+
+    /// Schedule `fn` after a delay from now.
+    void schedule_after(Duration d, std::function<void()> fn) {
+        schedule_at(now_ + (d < 0 ? 0 : d), std::move(fn));
+    }
+
+    /// Create a simulated process whose body starts at virtual time `start`.
+    Process& spawn(std::string name, std::function<void(Process&)> body,
+                   Time start = 0);
+
+    /// Run until the event queue drains. Throws DeadlockError if processes
+    /// are still parked when the queue empties, and rethrows the first
+    /// process failure (exception escaping a process body).
+    void run();
+
+    /// Number of processes that have not finished.
+    [[nodiscard]] std::size_t live_process_count() const noexcept;
+
+    /// Kills every unfinished process (unwinding their stacks) and joins
+    /// their threads. Idempotent; called automatically on destruction.
+    /// Owners whose state is referenced by process bodies must call this
+    /// before that state is destroyed.
+    void shutdown();
+
+    /// Number of events executed so far (diagnostics).
+    [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+    /// Internal: records the first process failure; run() rethrows it.
+    void note_failure(std::string what);
+
+private:
+    friend class Process;
+
+    struct Event {
+        Time at;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct EventOrder {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;  // FIFO among same-time events
+        }
+    };
+
+    Time now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    bool running_ = false;
+    bool have_failure_ = false;
+    std::string first_failure_;
+};
+
+/// A virtual-time condition variable. Processes park on it; notify_all
+/// reschedules every parked waiter at the current timestamp. Waiters must
+/// re-check their predicate after waking (notifications are broadcast).
+class Condition {
+public:
+    /// Park the calling process until the next notify_all.
+    void wait(Process& p);
+
+    /// Wait until `pred()` is true, parking between notifications.
+    template <typename Pred>
+    void wait_until(Process& p, Pred&& pred) {
+        while (!pred()) wait(p);
+    }
+
+    /// Wake every current waiter (scheduled at the present timestamp).
+    void notify_all(Engine& engine);
+
+    [[nodiscard]] std::size_t waiter_count() const noexcept { return waiters_.size(); }
+
+private:
+    std::vector<Process*> waiters_;
+};
+
+}  // namespace nbe::sim

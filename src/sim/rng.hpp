@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Each simulated rank owns its own generator seeded from (job seed, rank),
+// so results are independent of event interleaving and of how many other
+// ranks exist.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nbe::sim {
+
+/// SplitMix64: used to expand a small seed into full generator state.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+        SplitMix64 sm(seed);
+        for (auto& w : s_) w = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+        // Lemire-style multiply-shift; bias is negligible for simulation use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double uniform() noexcept {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4];
+};
+
+}  // namespace nbe::sim

@@ -1,0 +1,40 @@
+// Small online-statistics accumulator used by benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace nbe::sim {
+
+/// Welford-style running mean/variance plus min/max.
+class Accumulator {
+public:
+    void add(double x) noexcept {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+    [[nodiscard]] double variance() const noexcept {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace nbe::sim

@@ -1,0 +1,40 @@
+// Virtual-time primitives for the discrete-event simulation kernel.
+//
+// All simulated time in nbepoch is an integer count of nanoseconds. Integer
+// time keeps event ordering exact (no floating-point ties), which is what
+// makes every simulation run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace nbe::sim {
+
+/// Simulated time, in nanoseconds since the start of the simulation.
+using Time = std::int64_t;
+
+/// A simulated duration, in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration nanoseconds(std::int64_t n) noexcept { return n; }
+constexpr Duration microseconds(std::int64_t u) noexcept { return u * 1000; }
+constexpr Duration milliseconds(std::int64_t m) noexcept { return m * 1'000'000; }
+constexpr Duration seconds(std::int64_t s) noexcept { return s * 1'000'000'000; }
+
+/// Converts a duration to fractional microseconds (for reporting only).
+constexpr double to_usec(Duration d) noexcept { return static_cast<double>(d) / 1e3; }
+
+/// Converts a duration to fractional milliseconds (for reporting only).
+constexpr double to_msec(Duration d) noexcept { return static_cast<double>(d) / 1e6; }
+
+/// Converts a duration to fractional seconds (for reporting only).
+constexpr double to_sec(Duration d) noexcept { return static_cast<double>(d) / 1e9; }
+
+/// Duration needed to move `bytes` across a pipe of `bytes_per_sec`
+/// bandwidth, rounded up to a whole nanosecond.
+constexpr Duration serialization_delay(std::uint64_t bytes, double bytes_per_sec) noexcept {
+    if (bytes == 0 || bytes_per_sec <= 0.0) return 0;
+    const double ns = static_cast<double>(bytes) * 1e9 / bytes_per_sec;
+    return static_cast<Duration>(ns) + 1;
+}
+
+}  // namespace nbe::sim

@@ -1,0 +1,156 @@
+// Tests for the two application kernels: correctness of the LU
+// decomposition against a serial reference, atomicity/completeness of the
+// transaction kernel, and the performance orderings the paper reports.
+#include <gtest/gtest.h>
+
+#include "apps/lu.hpp"
+#include "apps/transactions.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+
+// ------------------------------------------------------------------- LU
+
+class LuCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, Mode, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LuCorrectness,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(Mode::Mvapich, Mode::NewBlocking,
+                                         Mode::NewNonblocking),
+                       ::testing::Values(16u, 33u, 64u)));
+
+TEST_P(LuCorrectness, MatchesSerialReference) {
+    LuParams params;
+    params.ranks = std::get<0>(GetParam());
+    params.mode = std::get<1>(GetParam());
+    params.m = std::get<2>(GetParam());
+    params.verify = true;
+    params.flop_ns = 1.0;
+    const auto r = run_lu(params);
+    EXPECT_LT(r.max_error, 1e-9);
+    EXPECT_GT(r.total_s, 0.0);
+}
+
+TEST(Lu, NonblockingBeatsBlockingAtComputeBoundSizes) {
+    // The Late Complete fix plus post-close overlap should give the
+    // nonblocking series a clear win when computation per step is large
+    // (paper: ~50% at the small end of Figure 13).
+    LuParams params;
+    params.ranks = 8;
+    params.m = 128;
+    params.flop_ns = 16.0;  // compute-heavy regime
+    params.mode = Mode::NewBlocking;
+    const auto blocking = run_lu(params);
+    params.mode = Mode::NewNonblocking;
+    const auto nonblocking = run_lu(params);
+    EXPECT_LT(nonblocking.total_s, blocking.total_s);
+    // The win should be substantial in this regime (>15%).
+    EXPECT_LT(nonblocking.total_s, blocking.total_s * 0.85);
+}
+
+TEST(Lu, NewEngineBeatsMvapich) {
+    LuParams params;
+    params.ranks = 8;
+    params.m = 128;
+    params.flop_ns = 8.0;
+    params.mode = Mode::Mvapich;
+    const auto mvapich = run_lu(params);
+    params.mode = Mode::NewBlocking;
+    const auto nb = run_lu(params);
+    EXPECT_LE(nb.total_s, mvapich.total_s * 1.02);
+}
+
+TEST(Lu, CommPercentageGrowsWithJobSize) {
+    // Fixed matrix, growing job: computation per process shrinks, so the
+    // fraction of time in MPI calls grows (Figure 13 b/d).
+    LuParams params;
+    params.m = 128;
+    params.flop_ns = 8.0;
+    params.mode = Mode::NewNonblocking;
+    params.ranks = 2;
+    const auto small = run_lu(params);
+    params.ranks = 16;
+    const auto large = run_lu(params);
+    EXPECT_GT(large.comm_pct, small.comm_pct);
+    EXPECT_GT(small.comm_pct, 0.0);
+    EXPECT_LE(large.comm_pct, 100.0);
+}
+
+TEST(Lu, SingleRankNeedsNoCommunication) {
+    LuParams params;
+    params.ranks = 1;
+    params.m = 32;
+    params.verify = true;
+    const auto r = run_lu(params);
+    EXPECT_LT(r.max_error, 1e-12);
+}
+
+// ----------------------------------------------------------- Transactions
+
+class TransactionsModes : public ::testing::TestWithParam<Mode> {};
+INSTANTIATE_TEST_SUITE_P(Modes, TransactionsModes,
+                         ::testing::Values(Mode::Mvapich, Mode::NewBlocking,
+                                           Mode::NewNonblocking));
+
+TEST_P(TransactionsModes, EveryUpdateIsAppliedExactlyOnce) {
+    TransactionsParams params;
+    params.ranks = 8;
+    params.mode = GetParam();
+    params.updates_per_rank = 25;
+    params.payload_bytes = 4096;
+    const auto r = run_transactions(params);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.total_updates, 8u * 25u);
+    EXPECT_GT(r.throughput_tps, 0.0);
+}
+
+TEST(Transactions, AaarUpdatesAreAllAppliedToo) {
+    TransactionsParams params;
+    params.ranks = 8;
+    params.mode = Mode::NewNonblocking;
+    params.use_aaar = true;
+    params.updates_per_rank = 50;
+    params.payload_bytes = 4096;
+    const auto r = run_transactions(params);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Transactions, ThroughputOrderingMatchesThePaper) {
+    // Figure 12 ordering: New nonblocking >= New (blocking), and
+    // New nonblocking + A_A_A_R beats both.
+    TransactionsParams params;
+    params.ranks = 16;
+    params.updates_per_rank = 60;
+    params.payload_bytes = 16 * 1024;
+
+    params.mode = Mode::NewBlocking;
+    const auto blocking = run_transactions(params);
+    params.mode = Mode::NewNonblocking;
+    const auto nonblocking = run_transactions(params);
+    params.use_aaar = true;
+    const auto aaar = run_transactions(params);
+
+    EXPECT_GE(nonblocking.throughput_tps, blocking.throughput_tps * 0.98);
+    EXPECT_GT(aaar.throughput_tps, blocking.throughput_tps * 1.10);
+    EXPECT_GT(aaar.throughput_tps, nonblocking.throughput_tps);
+}
+
+TEST(Transactions, CreditExhaustionThrottlesThroughput) {
+    // The paper's InfiniBand flow-control issue: with few credits and many
+    // pending epochs, posting stalls and the A_A_A_R advantage shrinks.
+    TransactionsParams params;
+    params.ranks = 16;
+    params.updates_per_rank = 60;
+    params.payload_bytes = 16 * 1024;
+    params.use_aaar = true;
+
+    params.tx_credits = 64;
+    const auto plenty = run_transactions(params);
+    params.tx_credits = 2;
+    const auto starved = run_transactions(params);
+
+    EXPECT_GT(starved.credit_stalls, plenty.credit_stalls);
+    EXPECT_LT(starved.throughput_tps, plenty.throughput_tps);
+}

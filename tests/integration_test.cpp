@@ -1,0 +1,233 @@
+// Cross-module integration tests: realistic multi-phase programs that mix
+// epoch kinds, two-sided messaging, multiple windows, and both blocking and
+// nonblocking synchronizations in one job.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/window.hpp"
+
+using namespace nbe;
+
+namespace {
+
+JobConfig job(int ranks, Mode mode = Mode::NewNonblocking) {
+    JobConfig cfg;
+    cfg.ranks = ranks;
+    cfg.mode = mode;
+    cfg.fabric.ranks_per_node = 4;
+    return cfg;
+}
+
+}  // namespace
+
+TEST(Integration, PhasedPipelineAcrossEpochKinds) {
+    // Phase 1 (fence): everyone contributes to a shared table.
+    // Phase 2 (GATS): rank 0 gathers and broadcasts a digest.
+    // Phase 3 (locks): ranks atomically claim work items.
+    // Phase 4 (two-sided): results funnel back to rank 0.
+    const int n = 6;
+    std::int64_t claimed_total = -1;
+    std::int64_t digest_echo[6] = {0};
+    run(job(n), [&](Proc& p) {
+        Window table = p.create_window(
+            static_cast<std::size_t>(n) * sizeof(std::int64_t));
+        Window digest = p.create_window(sizeof(std::int64_t));
+        Window counter = p.create_window(sizeof(std::int64_t));
+
+        // Phase 1: fence epoch — all-to-one contributions.
+        table.fence();
+        const std::int64_t mine = 10 + p.rank();
+        table.put(std::span<const std::int64_t>(&mine, 1), 0,
+                  static_cast<std::size_t>(p.rank()));
+        table.fence(rma::kNoSucceed);
+
+        // Phase 2: GATS — rank 0 reduces the table and broadcasts it.
+        if (p.rank() == 0) {
+            std::int64_t sum = 0;
+            for (int i = 0; i < n; ++i) {
+                sum += table.read<std::int64_t>(static_cast<std::size_t>(i));
+            }
+            std::vector<Rank> others;
+            for (Rank q = 1; q < n; ++q) others.push_back(q);
+            digest.start(others);
+            for (Rank q : others) {
+                digest.put(std::span<const std::int64_t>(&sum, 1), q, 0);
+            }
+            Request r = digest.icomplete();
+            digest.write<std::int64_t>(0, sum);
+            p.wait(r);
+        } else {
+            const Rank g[] = {0};
+            digest.post(g);
+            digest.wait_exposure();
+        }
+        digest_echo[p.rank()] = digest.read<std::int64_t>(0);
+
+        // Phase 3: nonblocking exclusive-lock epochs — claim counter slots.
+        std::vector<Request> rs;
+        for (int i = 0; i < 5; ++i) {
+            counter.ilock(LockType::Exclusive, 0);
+            const std::int64_t one = 1;
+            counter.accumulate(std::span<const std::int64_t>(&one, 1),
+                               ReduceOp::Sum, 0, 0);
+            rs.push_back(counter.iunlock(0));
+        }
+        p.wait_all(rs);
+
+        // Phase 4: two-sided funnel to rank 0.
+        p.barrier();
+        if (p.rank() == 0) {
+            claimed_total = counter.read<std::int64_t>(0);
+            for (Rank q = 1; q < n; ++q) {
+                std::int64_t ack = 0;
+                p.recv(&ack, sizeof ack, rt::kAnySource, 99);
+                EXPECT_EQ(ack, digest_echo[0]);
+            }
+        } else {
+            const std::int64_t echo = digest_echo[p.rank()];
+            p.send(&echo, sizeof echo, 0, 99);
+        }
+    });
+    const std::int64_t want_sum = 10 * 6 + (0 + 1 + 2 + 3 + 4 + 5);
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(digest_echo[i], want_sum);
+    EXPECT_EQ(claimed_total, 6 * 5);
+}
+
+TEST(Integration, WindowsProgressIndependently) {
+    // A stuck epoch on one window must not stop another window's traffic.
+    double second_window_us = 0;
+    run(job(3), [&](Proc& p) {
+        Window slow = p.create_window(64);
+        Window fast = p.create_window(64);
+        p.barrier();
+        if (p.rank() == 1) {
+            // Hold `slow`'s rank-0 lock hostage for a long time.
+            slow.lock(LockType::Exclusive, 0);
+            std::int32_t probe = 0;
+            slow.get(std::span<std::int32_t>(&probe, 1), 0, 0);
+            slow.flush(0);
+            p.compute(sim::milliseconds(2));
+            slow.unlock(0);
+        } else if (p.rank() == 2) {
+            p.compute(sim::microseconds(50));
+            // `slow` epoch queues behind rank 1's hold...
+            slow.ilock(LockType::Exclusive, 0);
+            const std::int32_t v = 1;
+            slow.put(std::span<const std::int32_t>(&v, 1), 0, 0);
+            Request r1 = slow.iunlock(0);
+            // ...but `fast` traffic flows immediately.
+            const auto t0 = p.now();
+            fast.lock(LockType::Exclusive, 0);
+            fast.put(std::span<const std::int32_t>(&v, 1), 0, 0);
+            fast.unlock(0);
+            second_window_us = sim::to_usec(p.now() - t0);
+            p.wait(r1);
+        }
+        p.barrier();
+    });
+    EXPECT_LT(second_window_us, 100.0);  // not the 2 ms hostage time
+}
+
+TEST(Integration, TwoSidedAndRmaShareTheFabricFairly) {
+    // Heavy RMA from rank 0 and heavy two-sided from rank 0 both complete;
+    // kinds are dispatched to the right layer.
+    std::int64_t rma_sum = -1;
+    std::vector<std::byte> ts_data(128 << 10);
+    run(job(2), [&](Proc& p) {
+        Window win = p.create_window(1024);
+        if (p.rank() == 0) {
+            std::vector<std::byte> big(128 << 10, std::byte{0x42});
+            Request ts = p.isend(big.data(), big.size(), 1, 12);
+            win.lock(LockType::Shared, 1);
+            for (int i = 0; i < 50; ++i) {
+                const std::int64_t one = 1;
+                win.accumulate(std::span<const std::int64_t>(&one, 1),
+                               ReduceOp::Sum, 1, 0);
+            }
+            win.unlock(1);
+            ts.wait(p.sim_process());
+        } else {
+            p.recv(ts_data.data(), ts_data.size(), 0, 12);
+            p.barrier();
+            rma_sum = win.read<std::int64_t>(0);
+        }
+        if (p.rank() == 0) p.barrier();
+    });
+    EXPECT_EQ(rma_sum, 50);
+    EXPECT_EQ(ts_data[100], std::byte{0x42});
+}
+
+TEST(Integration, ModesAgreeOnResultsForTheSameProgram) {
+    // The three modes must produce byte-identical window contents for a
+    // deterministic mixed workload (they differ in timing only).
+    auto final_state = [](Mode mode) {
+        std::vector<std::int64_t> out;
+        run(job(4, mode), [&](Proc& p) {
+            Window win = p.create_window(4 * sizeof(std::int64_t));
+            win.fence();
+            const std::int64_t v = 100 + p.rank();
+            win.put(std::span<const std::int64_t>(&v, 1), (p.rank() + 1) % 4,
+                    static_cast<std::size_t>(p.rank()));
+            win.fence(rma::kNoSucceed);
+            for (int round = 0; round < 3; ++round) {
+                win.lock(LockType::Exclusive, (p.rank() + 2) % 4);
+                const std::int64_t one = 1;
+                win.accumulate(std::span<const std::int64_t>(&one, 1),
+                               ReduceOp::Sum, (p.rank() + 2) % 4, 3);
+                win.unlock((p.rank() + 2) % 4);
+            }
+            p.barrier();
+            if (p.rank() == 2) {
+                for (std::size_t i = 0; i < 4; ++i) {
+                    out.push_back(win.read<std::int64_t>(i));
+                }
+            }
+        });
+        return out;
+    };
+    const auto a = final_state(Mode::Mvapich);
+    const auto b = final_state(Mode::NewBlocking);
+    const auto c = final_state(Mode::NewNonblocking);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, c);
+    EXPECT_EQ(c[3], 3);  // three accumulates landed on rank 2's slot 3
+}
+
+TEST(Integration, LongRunningJobSurvivesThousandsOfEpochs) {
+    const int kEpochs = 1500;
+    std::int64_t total = -1;
+    run(job(4), [&](Proc& p) {
+        Window win = p.create_window(64);
+        std::vector<Request> rs;
+        rs.reserve(64);
+        for (int i = 0; i < kEpochs; ++i) {
+            const Rank t = static_cast<Rank>(p.rng().below(4));
+            win.ilock(LockType::Exclusive, t);
+            const std::int64_t one = 1;
+            win.accumulate(std::span<const std::int64_t>(&one, 1),
+                           ReduceOp::Sum, t, 0);
+            rs.push_back(win.iunlock(t));
+            if (rs.size() >= 32) {
+                p.wait_all(rs);
+                rs.clear();
+            }
+        }
+        p.wait_all(rs);
+        p.barrier();
+        std::int64_t mine = win.read<std::int64_t>(0);
+        // Funnel the per-rank counters to rank 0 two-sidedly.
+        if (p.rank() == 0) {
+            total = mine;
+            for (int q = 1; q < 4; ++q) {
+                std::int64_t other = 0;
+                p.recv(&other, sizeof other, rt::kAnySource, 5);
+                total += other;
+            }
+        } else {
+            p.send(&mine, sizeof mine, 0, 5);
+        }
+    });
+    EXPECT_EQ(total, 4 * kEpochs);
+}

@@ -1,0 +1,251 @@
+// Unit tests for the fabric model: timing (latency, bandwidth, NIC TX
+// serialization), flow-control credits, topology, and the registration
+// cache.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.hpp"
+
+using namespace nbe;
+using namespace nbe::net;
+
+namespace {
+
+FabricConfig internode_cfg() {
+    FabricConfig cfg;
+    cfg.ranks_per_node = 1;
+    return cfg;
+}
+
+Packet control(Rank src, Rank dst) {
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.kind = 1;
+    return p;
+}
+
+}  // namespace
+
+TEST(Fabric, Topology) {
+    sim::Engine eng;
+    FabricConfig cfg;
+    cfg.ranks_per_node = 4;
+    Fabric f(eng, 16, cfg);
+    EXPECT_EQ(f.node_of(0), 0);
+    EXPECT_EQ(f.node_of(3), 0);
+    EXPECT_EQ(f.node_of(4), 1);
+    EXPECT_TRUE(f.same_node(0, 3));
+    EXPECT_FALSE(f.same_node(3, 4));
+    EXPECT_EQ(f.nranks(), 16);
+}
+
+TEST(Fabric, RejectsBadConfig) {
+    sim::Engine eng;
+    FabricConfig cfg;
+    EXPECT_THROW(Fabric(eng, 0, cfg), std::invalid_argument);
+    cfg.ranks_per_node = 0;
+    EXPECT_THROW(Fabric(eng, 2, cfg), std::invalid_argument);
+    cfg.ranks_per_node = 1;
+    cfg.tx_credits = 0;
+    EXPECT_THROW(Fabric(eng, 2, cfg), std::invalid_argument);
+}
+
+TEST(Fabric, ControlPacketLatency) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    sim::Time delivered = -1;
+    f.set_handler(1, [&](Packet&&) { delivered = eng.now(); });
+    f.set_handler(0, [](Packet&&) {});
+    f.send(control(0, 1));
+    eng.run();
+    const auto& cfg = f.config();
+    const auto expect = cfg.sw_overhead +
+                        sim::serialization_delay(cfg.control_bytes,
+                                                 cfg.inter_bandwidth) +
+                        cfg.inter_latency;
+    EXPECT_EQ(delivered, expect);
+}
+
+TEST(Fabric, PayloadBandwidthDominatesLargeTransfers) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    sim::Time delivered = -1;
+    f.set_handler(1, [&](Packet&&) { delivered = eng.now(); });
+    Packet p = control(0, 1);
+    p.payload.resize(1 << 20);
+    f.send(std::move(p));
+    eng.run();
+    EXPECT_GT(delivered, sim::microseconds(330));
+    EXPECT_LT(delivered, sim::microseconds(350));
+}
+
+TEST(Fabric, IntranodeIsFasterThanInternode) {
+    auto deliver_time = [](int ranks_per_node) {
+        sim::Engine eng;
+        FabricConfig cfg;
+        cfg.ranks_per_node = ranks_per_node;
+        Fabric f(eng, 2, cfg);
+        sim::Time t = -1;
+        f.set_handler(1, [&](Packet&&) { t = eng.now(); });
+        Packet p;
+        p.src = 0;
+        p.dst = 1;
+        p.payload.resize(256 << 10);
+        f.send(std::move(p));
+        eng.run();
+        return t;
+    };
+    EXPECT_LT(deliver_time(2), deliver_time(1));
+}
+
+TEST(Fabric, NicTxSerializesSameSourcePackets) {
+    sim::Engine eng;
+    Fabric f(eng, 3, internode_cfg());
+    std::vector<sim::Time> deliveries;
+    for (Rank r = 1; r < 3; ++r) {
+        f.set_handler(r, [&](Packet&&) { deliveries.push_back(eng.now()); });
+    }
+    // Two 1 MB packets from rank 0 to different destinations: the second
+    // must wait for the first to clear the NIC.
+    for (Rank dst = 1; dst < 3; ++dst) {
+        Packet p = control(0, dst);
+        p.payload.resize(1 << 20);
+        f.send(std::move(p));
+    }
+    eng.run();
+    ASSERT_EQ(deliveries.size(), 2u);
+    const auto gap = deliveries[1] - deliveries[0];
+    EXPECT_GT(gap, sim::microseconds(330));  // one full serialization
+}
+
+TEST(Fabric, FifoPerSourceDestinationPair) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    std::vector<std::uint64_t> order;
+    f.set_handler(1, [&](Packet&& p) { order.push_back(p.header[0]); });
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        Packet p = control(0, 1);
+        p.header[0] = i;
+        p.payload.resize((i % 2) ? 100000 : 10);  // mixed sizes
+        f.send(std::move(p));
+    }
+    eng.run();
+    ASSERT_EQ(order.size(), 8u);
+    for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Fabric, OnAckedFiresAfterDelivery) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    sim::Time delivered = -1;
+    sim::Time acked = -1;
+    f.set_handler(1, [&](Packet&&) { delivered = eng.now(); });
+    Packet p = control(0, 1);
+    p.on_acked = [&](sim::Time t) { acked = t; };
+    f.send(std::move(p));
+    eng.run();
+    EXPECT_EQ(acked, delivered + f.config().inter_latency);
+}
+
+TEST(Fabric, CreditsStallAndRecover) {
+    sim::Engine eng;
+    FabricConfig cfg = internode_cfg();
+    cfg.tx_credits = 2;
+    Fabric f(eng, 2, cfg);
+    int received = 0;
+    f.set_handler(1, [&](Packet&&) { ++received; });
+    for (int i = 0; i < 10; ++i) f.send(control(0, 1));
+    // Two in flight, eight stalled.
+    EXPECT_EQ(f.credits(0), 0);
+    EXPECT_EQ(f.stats().credit_stalls, 8u);
+    eng.run();
+    EXPECT_EQ(received, 10);       // everything eventually drains
+    EXPECT_EQ(f.credits(0), 2);    // credits fully restored
+}
+
+TEST(Fabric, IntranodePacketsDoNotConsumeCredits) {
+    sim::Engine eng;
+    FabricConfig cfg;
+    cfg.ranks_per_node = 2;
+    cfg.tx_credits = 1;
+    Fabric f(eng, 2, cfg);
+    int received = 0;
+    f.set_handler(1, [&](Packet&&) { ++received; });
+    for (int i = 0; i < 5; ++i) f.send(control(0, 1));
+    EXPECT_EQ(f.stats().credit_stalls, 0u);
+    eng.run();
+    EXPECT_EQ(received, 5);
+}
+
+TEST(Fabric, StalledPacketsKeepFifoOrder) {
+    sim::Engine eng;
+    FabricConfig cfg = internode_cfg();
+    cfg.tx_credits = 1;
+    Fabric f(eng, 2, cfg);
+    std::vector<std::uint64_t> order;
+    f.set_handler(1, [&](Packet&& p) { order.push_back(p.header[0]); });
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        Packet p = control(0, 1);
+        p.header[0] = i;
+        f.send(std::move(p));
+    }
+    eng.run();
+    for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Fabric, RegistrationCacheHitsAndMisses) {
+    sim::Engine eng;
+    FabricConfig cfg = internode_cfg();
+    cfg.reg_cache_capacity = 2;
+    Fabric f(eng, 2, cfg);
+    // Small buffers never pin.
+    EXPECT_EQ(f.pin(0, 1, 64), 0);
+    EXPECT_EQ(f.stats().pin_misses, 0u);
+    // First large use: miss.
+    EXPECT_EQ(f.pin(0, 1, 1 << 20), cfg.pin_cost);
+    // Second use of the same buffer: hit.
+    EXPECT_EQ(f.pin(0, 1, 1 << 20), 0);
+    EXPECT_EQ(f.stats().pin_hits, 1u);
+    // Fill beyond capacity evicts the LRU entry.
+    EXPECT_EQ(f.pin(0, 2, 1 << 20), cfg.pin_cost);
+    EXPECT_EQ(f.pin(0, 3, 1 << 20), cfg.pin_cost);  // evicts key 1
+    EXPECT_EQ(f.pin(0, 1, 1 << 20), cfg.pin_cost);  // miss again
+    EXPECT_EQ(f.stats().pin_misses, 4u);
+}
+
+TEST(Fabric, RegistrationCacheIsPerRank) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    EXPECT_GT(f.pin(0, 7, 1 << 20), 0);
+    EXPECT_GT(f.pin(1, 7, 1 << 20), 0);  // other rank: its own miss
+}
+
+TEST(Fabric, OutOfRangeRanksThrow) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    EXPECT_THROW(f.send(control(0, 2)), std::out_of_range);
+    EXPECT_THROW(f.send(control(-1, 1)), std::out_of_range);
+}
+
+TEST(Fabric, MissingHandlerIsAnError) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    f.send(control(0, 1));  // no handler registered for rank 1
+    EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Fabric, StatsCountPacketsAndBytes) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    f.set_handler(1, [](Packet&&) {});
+    Packet p = control(0, 1);
+    p.payload.resize(1000);
+    f.send(std::move(p));
+    f.send(control(0, 1));
+    eng.run();
+    EXPECT_EQ(f.stats().packets_sent, 2u);
+    EXPECT_EQ(f.stats().bytes_sent,
+              1000 + f.config().header_bytes + f.config().control_bytes);
+}

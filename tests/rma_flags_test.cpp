@@ -1,0 +1,266 @@
+// Tests for the progress-engine optimization flags (paper Section VI-B and
+// Figures 7-11): each flag enables exactly one out-of-order activation
+// combination; with the flag off, the delay of a late peer propagates down
+// the epoch chain; with it on, the victim is insulated and the middle
+// process overlaps the delay with its second epoch.
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.hpp"
+#include "core/types.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+
+// ------------------------------------------------------------- WinInfo
+
+TEST(WinInfoParse, FullNamesAndAliases) {
+    const auto info = WinInfo::parse({
+        {"MPI_WIN_ACCESS_AFTER_ACCESS_REORDER", "1"},
+        {"A_A_E_R", "true"},
+        {"MPI_WIN_EXPOSURE_AFTER_EXPOSURE_REORDER", "0"},
+        {"E_A_A_R", "false"},
+    });
+    EXPECT_TRUE(info.access_after_access);
+    EXPECT_TRUE(info.access_after_exposure);
+    EXPECT_FALSE(info.exposure_after_exposure);
+    EXPECT_FALSE(info.exposure_after_access);
+}
+
+TEST(WinInfoParse, AllFlagsDefaultOff) {
+    const WinInfo info;
+    EXPECT_FALSE(info.access_after_access);
+    EXPECT_FALSE(info.access_after_exposure);
+    EXPECT_FALSE(info.exposure_after_exposure);
+    EXPECT_FALSE(info.exposure_after_access);
+}
+
+TEST(WinInfoParse, RejectsUnknownKeysAndValues) {
+    EXPECT_THROW(WinInfo::parse({{"NOT_A_FLAG", "1"}}), std::invalid_argument);
+    EXPECT_THROW(WinInfo::parse({{"A_A_A_R", "maybe"}}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Figure 7
+
+TEST(AaarGats, OffPropagatesTheLatePostDownstream) {
+    const auto r = aaar_gats(false);
+    // T1 inherits T0's 1000 us delay transitively.
+    EXPECT_GT(r.target1_epoch_us, 1600.0);
+    // The origin serializes both epochs after the delay.
+    EXPECT_GT(r.origin_cumulative_us, 1600.0);
+}
+
+TEST(AaarGats, OnInsulatesTheSecondTarget) {
+    const auto r = aaar_gats(true);
+    // Paper: "T1 does not suffer the delay of T0; and the cumulative
+    // origin-side latency is just the latency of T0."
+    EXPECT_LT(r.target1_epoch_us, 420.0);
+    EXPECT_GT(r.origin_cumulative_us, 1300.0);
+    EXPECT_LT(r.origin_cumulative_us, 1450.0);
+}
+
+// ------------------------------------------------------------- Figure 8
+
+TEST(AaarLock, OffSerializesBothLockEpochs) {
+    const double c = aaar_lock_cumulative_us(false);
+    // delay(1000) + O1's T0 transfer + T1 epoch, all serialized: ~1700+.
+    EXPECT_GT(c, 1600.0);
+}
+
+TEST(AaarLock, OnCompletesSecondEpochOutOfOrder) {
+    const double c = aaar_lock_cumulative_us(true);
+    // Paper: "O1 completes both epochs in about 1340 us, which is the
+    // latency of its first epoch only."
+    EXPECT_GT(c, 1200.0);
+    EXPECT_LT(c, 1450.0);
+}
+
+// ------------------------------------------------------------- Figure 9
+
+TEST(Aaer, OffTransfersTheDelayTransitively) {
+    const auto r = aaer(false);
+    EXPECT_GT(r.victim_epoch_us, 1600.0);   // P1 inherits P0's delay
+    EXPECT_GT(r.middle_cumulative_us, 1600.0);
+}
+
+TEST(Aaer, OnHandlesTheSecondEpochOutOfOrder) {
+    const auto r = aaer(true);
+    // Paper: "P1 completely avoids incurring the delay while P2 overlaps it
+    // with its second epoch."
+    EXPECT_LT(r.victim_epoch_us, 420.0);
+    EXPECT_LT(r.middle_cumulative_us, 1450.0);
+}
+
+// ------------------------------------------------------------ Figure 10
+
+TEST(Eaer, OffPropagatesO0DelayToO1) {
+    const auto r = eaer(false);
+    EXPECT_GT(r.victim_epoch_us, 1600.0);
+    EXPECT_GT(r.middle_cumulative_us, 1600.0);
+}
+
+TEST(Eaer, OnExposesToO1Immediately) {
+    const auto r = eaer(true);
+    EXPECT_LT(r.victim_epoch_us, 420.0);
+    EXPECT_LT(r.middle_cumulative_us, 1450.0);
+}
+
+// ------------------------------------------------------------ Figure 11
+
+TEST(Eaar, OffPropagatesP0DelayToP1) {
+    const auto r = eaar(false);
+    EXPECT_GT(r.victim_epoch_us, 1600.0);
+    EXPECT_GT(r.middle_cumulative_us, 1600.0);
+}
+
+TEST(Eaar, OnServesP1WhileP0IsLate) {
+    const auto r = eaar(true);
+    EXPECT_LT(r.victim_epoch_us, 420.0);
+    EXPECT_LT(r.middle_cumulative_us, 1450.0);
+}
+
+// ------------------------------------ flag / epoch-kind interactions
+
+TEST(FlagExclusions, FlagsDoNotApplyAcrossFenceAdjacency) {
+    // A lock epoch opened while a *nonempty, closed-but-incomplete* fence
+    // epoch is active must stay deferred even with every flag on (§VI-B).
+    WinInfo info;
+    info.access_after_access = true;
+    info.access_after_exposure = true;
+    double lock_epoch_us = 0;
+    run(internode_config(2, Mode::NewNonblocking), [&](Proc& p) {
+        Window win = p.create_window(1 << 20, info);
+        std::vector<std::byte> buf(1 << 20, std::byte{1});
+        p.barrier();
+        if (p.rank() == 0) {
+            win.fence();
+            win.put(buf.data(), buf.size(), 1, 0);
+            Request rf = win.ifence(rma::kNoSucceed);
+            // Lock epoch issued immediately after the nonblocking fence
+            // close; it may not overtake the fence.
+            const auto t0 = p.now();
+            win.ilock(LockType::Exclusive, 1);
+            const std::int32_t v = 7;
+            win.put(std::span<const std::int32_t>(&v, 1), 1, 0);
+            Request ru = win.iunlock(1);
+            p.wait(ru);
+            lock_epoch_us = sim::to_usec(p.now() - t0);
+            p.wait(rf);
+        } else {
+            win.fence();
+            p.compute(sim::microseconds(800));  // delay the fence barrier
+            win.fence(rma::kNoSucceed);
+        }
+        p.barrier();
+    });
+    // The lock epoch had to wait for the fence barrier (~800 us), proving
+    // it was not activated out of order.
+    EXPECT_GT(lock_epoch_us, 780.0);
+}
+
+TEST(FlagExclusions, LockAllAdjacencyIsNeverReordered) {
+    // A lock epoch after a closed-but-incomplete lock_all epoch must not be
+    // activated out of order even with A_A_A_R (recursive-locking hazard).
+    WinInfo info;
+    info.access_after_access = true;
+    double second_epoch_us = 0;
+    run(internode_config(3, Mode::NewNonblocking), [&](Proc& p) {
+        Window win = p.create_window(4096, info);
+        p.barrier();
+        if (p.rank() == 2) {
+            // Rank 1 holds rank 0's lock exclusively for 700 us, delaying
+            // rank 2's lock_all.
+            p.compute(sim::microseconds(50));
+            win.ilock_all();
+            const std::int32_t v = 1;
+            win.put(std::span<const std::int32_t>(&v, 1), 0, 0);
+            Request r1 = win.iunlock_all();
+            const auto t0 = p.now();
+            win.ilock(LockType::Exclusive, 1);
+            win.put(std::span<const std::int32_t>(&v, 1), 1, 0);
+            Request r2 = win.iunlock(1);
+            p.wait(r2);
+            second_epoch_us = sim::to_usec(p.now() - t0);
+            p.wait(r1);
+        } else if (p.rank() == 1) {
+            win.lock(LockType::Exclusive, 0);
+            p.compute(sim::microseconds(700));
+            win.unlock(0);
+        }
+        p.barrier();
+    });
+    // The single-target lock epoch (to the *free* rank 1) still had to wait
+    // for the whole lock_all epoch.
+    EXPECT_GT(second_epoch_us, 600.0);
+}
+
+TEST(FlagDefaults, WithoutFlagsEpochsCompleteInOrder) {
+    // Rule 4 + default progression: epoch k+1 is activated only after epoch
+    // k completes, so dones arrive in order at a common target.
+    std::vector<int> arrival_order;
+    run(internode_config(2, Mode::NewNonblocking), [&](Proc& p) {
+        Window win = p.create_window(4096);
+        p.barrier();
+        if (p.rank() == 0) {
+            std::vector<Request> reqs;
+            for (int i = 0; i < 4; ++i) {
+                win.ilock(LockType::Exclusive, 1);
+                const std::int32_t v = i;
+                win.put(std::span<const std::int32_t>(&v, 1), 1, 0);
+                reqs.push_back(win.iunlock(1));
+            }
+            p.wait_all(reqs);
+            char tok = 0;
+            p.send(&tok, 1, 1, 3);
+        } else {
+            char tok = 0;
+            p.recv(&tok, 1, 0, 3);
+            arrival_order.push_back(win.read<std::int32_t>(0));
+        }
+    });
+    ASSERT_EQ(arrival_order.size(), 1u);
+    EXPECT_EQ(arrival_order[0], 3);  // last epoch's value is final
+}
+
+TEST(FlagIndependence, FlagsAreindependentPerWindow) {
+    // Two windows, one with A_A_A_R and one without: the flagged window
+    // reorders, the unflagged one serializes.
+    double flagged_us = 0;
+    double unflagged_us = 0;
+    WinInfo on;
+    on.access_after_access = true;
+    run(internode_config(3, Mode::NewNonblocking), [&](Proc& p) {
+        Window wf = p.create_window(1 << 20, on);
+        Window wu = p.create_window(1 << 20);
+        std::vector<std::byte> buf(1 << 20, std::byte{1});
+        p.barrier();
+        // Rank 1 delays both windows' T0 lock by holding it.
+        if (p.rank() == 1) {
+            wf.lock(LockType::Exclusive, 0);
+            wu.lock(LockType::Exclusive, 0);
+            p.compute(sim::microseconds(700));
+            wf.unlock(0);
+            wu.unlock(0);
+        } else if (p.rank() == 2) {
+            p.compute(sim::microseconds(50));
+            const auto t0 = p.now();
+            std::vector<Request> stuck;
+            std::vector<Request> second;
+            for (Window* w : {&wf, &wu}) {
+                w->ilock(LockType::Exclusive, 0);
+                w->put(buf.data(), buf.size(), 0, 0);
+                stuck.push_back(w->iunlock(0));
+                w->ilock(LockType::Exclusive, 2);
+                w->put(buf.data(), buf.size(), 2, 0);
+                second.push_back(w->iunlock(2));
+            }
+            p.wait(second[0]);  // flagged window's out-of-order epoch
+            flagged_us = sim::to_usec(p.now() - t0);
+            p.wait(second[1]);  // unflagged window serializes
+            unflagged_us = sim::to_usec(p.now() - t0);
+            p.wait_all(stuck);
+        }
+        p.barrier();
+    });
+    EXPECT_LT(flagged_us, 500.0);    // second epoch overtook the stuck one
+    EXPECT_GT(unflagged_us, 600.0);  // strict serialization
+}

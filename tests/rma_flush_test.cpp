@@ -1,0 +1,255 @@
+// Tests for the flush family: blocking flushes, and the nonblocking flushes
+// with age-stamping from paper Section VII-C ("a monotonically increasing
+// number gives an age to each RMA call; the flush request is stamped with
+// the age of the RMA call that immediately precedes").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/window.hpp"
+
+using namespace nbe;
+
+namespace {
+
+JobConfig internode(int ranks) {
+    JobConfig cfg;
+    cfg.ranks = ranks;
+    cfg.mode = Mode::NewNonblocking;
+    cfg.fabric.ranks_per_node = 1;
+    return cfg;
+}
+
+}  // namespace
+
+TEST(Flush, BlockingFlushCompletesPrecedingPuts) {
+    std::int32_t seen = 0;
+    run(internode(2), [&](Proc& p) {
+        Window win = p.create_window(64);
+        if (p.rank() == 0) {
+            win.lock(LockType::Shared, 1);
+            const std::int32_t v = 88;
+            win.put(std::span<const std::int32_t>(&v, 1), 1, 0);
+            win.flush(1);  // remote completion without closing the epoch
+            char tok = 1;
+            p.send(&tok, 1, 1, 1);
+            win.unlock(1);
+        } else {
+            char tok = 0;
+            p.recv(&tok, 1, 0, 1);
+            seen = win.read<std::int32_t>(0);  // visible *before* unlock
+        }
+    });
+    EXPECT_EQ(seen, 88);
+}
+
+TEST(Flush, FlushAllCoversEveryTarget) {
+    std::vector<std::int32_t> seen(3, 0);
+    run(internode(4), [&](Proc& p) {
+        Window win = p.create_window(64);
+        if (p.rank() == 0) {
+            win.lock_all();
+            for (Rank t = 1; t < 4; ++t) {
+                const std::int32_t v = 10 + t;
+                win.put(std::span<const std::int32_t>(&v, 1), t, 0);
+            }
+            win.flush_all();
+            for (Rank t = 1; t < 4; ++t) {
+                char tok = 1;
+                p.send(&tok, 1, t, 1);
+            }
+            win.unlock_all();
+        } else {
+            char tok = 0;
+            p.recv(&tok, 1, 0, 1);
+            seen[static_cast<std::size_t>(p.rank() - 1)] =
+                win.read<std::int32_t>(0);
+        }
+    });
+    EXPECT_EQ(seen, (std::vector<std::int32_t>{11, 12, 13}));
+}
+
+TEST(Flush, FlushLocalReturnsBeforeRemoteCompletion) {
+    // flush_local only guarantees the origin buffer is reusable; it should
+    // cost (much) less than a full remote flush for a large transfer.
+    double local_us = 0;
+    double remote_us = 0;
+    run(internode(2), [&](Proc& p) {
+        Window win = p.create_window(1 << 20);
+        std::vector<std::byte> buf(1 << 20, std::byte{1});
+        p.barrier();
+        if (p.rank() == 0) {
+            win.lock(LockType::Shared, 1);
+            win.put(buf.data(), buf.size(), 1, 0);
+            auto t0 = p.now();
+            win.flush_local(1);
+            local_us = sim::to_usec(p.now() - t0);
+            t0 = p.now();
+            win.flush(1);
+            remote_us = sim::to_usec(p.now() - t0);
+            win.unlock(1);
+        }
+        p.barrier();
+    });
+    EXPECT_LT(local_us, 50.0);     // staged at issue: nearly instant
+    EXPECT_GT(remote_us, 250.0);   // waits out the 1 MB wire time
+}
+
+TEST(Flush, IflushAllowsNewRmaCallsWhileInFlight) {
+    // Paper §VII-C: "new RMA calls can be issued after an MPI_WIN_IFLUSH
+    // call that is yet to complete" — and the flush must NOT wait for them.
+    double flush_us = 0;
+    run(internode(2), [&](Proc& p) {
+        Window win = p.create_window(4 << 20);
+        std::vector<std::byte> big(1 << 20, std::byte{2});
+        p.barrier();
+        if (p.rank() == 0) {
+            win.lock(LockType::Shared, 1);
+            win.put(big.data(), big.size(), 1, 0);
+            const auto t0 = p.now();
+            Request f = win.iflush(1);
+            // Three more puts *after* the flush was stamped.
+            for (int i = 1; i <= 3; ++i) {
+                win.put(big.data(), big.size(), 1,
+                        static_cast<std::size_t>(i) << 20);
+            }
+            p.wait(f);
+            flush_us = sim::to_usec(p.now() - t0);
+            win.unlock(1);
+        }
+        p.barrier();
+    });
+    // One 1 MB transfer is ~340 us; four would be ~1360 us. The flush only
+    // covers the first put.
+    EXPECT_GT(flush_us, 300.0);
+    EXPECT_LT(flush_us, 600.0);
+}
+
+TEST(Flush, IflushWithNothingPendingIsImmediate) {
+    run(internode(2), [&](Proc& p) {
+        Window win = p.create_window(64);
+        if (p.rank() == 0) {
+            win.lock(LockType::Shared, 1);
+            Request f = win.iflush(1);
+            EXPECT_TRUE(f.test());  // nothing preceded it
+            Request fa = win.iflush_all();
+            EXPECT_TRUE(fa.test());
+            win.unlock(1);
+        }
+        p.barrier();
+    });
+}
+
+TEST(Flush, IflushLocalAllCompletesWhenStaged) {
+    run(internode(3), [&](Proc& p) {
+        Window win = p.create_window(1024);
+        if (p.rank() == 0) {
+            win.lock_all();
+            const std::int64_t v = 1;
+            win.put(std::span<const std::int64_t>(&v, 1), 1, 0);
+            win.put(std::span<const std::int64_t>(&v, 1), 2, 0);
+            Request f = win.iflush_local_all();
+            p.wait(f);  // local completion: quick
+            win.unlock_all();
+        }
+        p.barrier();
+    });
+}
+
+TEST(Flush, FlushTargetsOnlyTheNamedRank) {
+    // A flush(t) must not wait for transfers to other targets.
+    double flush_us = 0;
+    run(internode(3), [&](Proc& p) {
+        Window win = p.create_window(1 << 20);
+        std::vector<std::byte> big(1 << 20, std::byte{3});
+        std::vector<std::byte> small(64, std::byte{4});
+        p.barrier();
+        if (p.rank() == 0) {
+            win.lock_all();
+            win.put(big.data(), big.size(), 1, 0);    // slow target
+            win.put(small.data(), small.size(), 2, 0);  // fast target
+            const auto t0 = p.now();
+            win.flush(2);
+            flush_us = sim::to_usec(p.now() - t0);
+            win.unlock_all();
+        }
+        p.barrier();
+    });
+    // Hmm: both share rank 0's NIC, so the small put queues behind the big
+    // one; the flush still must not wait for the big put's *ack*, only the
+    // small put's. Bound it by one serialization plus slack.
+    EXPECT_LT(flush_us, 420.0);
+}
+
+TEST(Flush, FlushOutsidePassiveEpochThrows) {
+    EXPECT_THROW(run(internode(2),
+                     [&](Proc& p) {
+                         Window win = p.create_window(64);
+                         win.fence();
+                         win.flush(1 - p.rank());
+                     }),
+                 std::runtime_error);
+}
+
+TEST(Flush, GetCompletesAtFlush) {
+    std::int32_t got = 0;
+    run(internode(2), [&](Proc& p) {
+        Window win = p.create_window(64);
+        if (p.rank() == 1) win.write<std::int32_t>(5, 123);
+        p.barrier();
+        if (p.rank() == 0) {
+            std::int32_t v = 0;
+            win.lock(LockType::Shared, 1);
+            win.get(std::span<std::int32_t>(&v, 1), 1, 5);
+            win.flush(1);
+            got = v;  // must be valid after the flush, before unlock
+            win.unlock(1);
+        }
+        p.barrier();
+    });
+    EXPECT_EQ(got, 123);
+}
+
+TEST(Flush, RputRequestCompletesIndependently) {
+    run(internode(2), [&](Proc& p) {
+        Window win = p.create_window(1024);
+        if (p.rank() == 0) {
+            std::vector<std::byte> buf(512, std::byte{9});
+            win.lock(LockType::Shared, 1);
+            Request r = win.rput(buf.data(), buf.size(), 1, 0);
+            p.wait(r);  // request-based completion without flush/unlock
+            win.unlock(1);
+        }
+        p.barrier();
+    });
+}
+
+TEST(Flush, RgetDeliversData) {
+    std::int64_t got = 0;
+    run(internode(2), [&](Proc& p) {
+        Window win = p.create_window(64);
+        if (p.rank() == 1) win.write<std::int64_t>(0, 4242);
+        p.barrier();
+        if (p.rank() == 0) {
+            std::int64_t v = 0;
+            win.lock(LockType::Shared, 1);
+            Request r = win.rget(&v, sizeof v, 1, 0);
+            p.wait(r);
+            got = v;
+            win.unlock(1);
+        }
+        p.barrier();
+    });
+    EXPECT_EQ(got, 4242);
+}
+
+TEST(Flush, RequestBasedOpsRequirePassiveTarget) {
+    EXPECT_THROW(run(internode(2),
+                     [&](Proc& p) {
+                         Window win = p.create_window(64);
+                         win.fence();
+                         std::byte b{1};
+                         (void)win.rput(&b, 1, 1 - p.rank(), 0);
+                     }),
+                 std::runtime_error);
+}

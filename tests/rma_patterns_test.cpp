@@ -1,0 +1,177 @@
+// Behavioural tests for the five inefficiency patterns (paper Section III
+// and Figures 2-6): nonblocking epochs must stop the latency propagation
+// that the blocking series exhibit, with the magnitudes the paper reports.
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.hpp"
+
+using namespace nbe;
+using namespace nbe::apps;
+
+namespace {
+constexpr double kTransfer1M = 345.0;  // ~340 us for a 1 MB put epoch
+}
+
+// ------------------------------------------------------------- Late Post
+
+TEST(LatePost, DelayCannotBeAvoidedByTheEpochItself) {
+    // Paper: "the access epoch length being about 1340 us for all three
+    // test series".
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking, Mode::NewNonblocking}) {
+        const auto r = late_post(m);
+        EXPECT_GT(r.access_epoch_us, 1300.0) << to_string(m);
+        EXPECT_LT(r.access_epoch_us, 1420.0) << to_string(m);
+    }
+}
+
+TEST(LatePost, BlockingSeriesSerializeTheSubsequentActivity) {
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking}) {
+        const auto r = late_post(m);
+        // Subsequent two-sided starts only after the ~1340 us epoch.
+        EXPECT_GT(r.cumulative_us, 1600.0) << to_string(m);
+        EXPECT_LT(r.cumulative_us, 1800.0) << to_string(m);
+        EXPECT_GT(r.two_sided_us, 300.0) << to_string(m);
+        EXPECT_LT(r.two_sided_us, 400.0) << to_string(m);
+    }
+}
+
+TEST(LatePost, NonblockingOverlapsTheDelay) {
+    const auto r = late_post(Mode::NewNonblocking);
+    // Two-sided overlaps the late post; cumulative == first activity only.
+    EXPECT_GT(r.two_sided_us, 300.0);
+    EXPECT_LT(r.two_sided_us, 400.0);
+    EXPECT_LT(r.cumulative_us, 1420.0);
+    EXPECT_NEAR(r.cumulative_us, r.access_epoch_us, 5.0);
+}
+
+// --------------------------------------------------------- Late Complete
+
+class LateCompleteSweep : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, LateCompleteSweep,
+                         ::testing::Values(4, 256, 4096, 65536, 1 << 20));
+
+TEST_P(LateCompleteSweep, BlockingPropagatesTheWorkDelayToTheTarget) {
+    const std::size_t bytes = GetParam();
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking}) {
+        const auto r = late_complete(m, bytes);
+        EXPECT_GT(r.target_epoch_us, 1000.0) << to_string(m) << " " << bytes;
+    }
+}
+
+TEST_P(LateCompleteSweep, NonblockingTargetWaitsOnlyForTransfers) {
+    const std::size_t bytes = GetParam();
+    const auto r = late_complete(Mode::NewNonblocking, bytes);
+    // The target waits only for the actual RMA transfer, never the 1000 us
+    // of origin-side work.
+    const double transfer_bound = bytes >= (1 << 20) ? 420.0 : 120.0;
+    EXPECT_LT(r.target_epoch_us, transfer_bound) << bytes;
+}
+
+TEST(LateComplete, OriginOverlapsWorkInAllSeries) {
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking, Mode::NewNonblocking}) {
+        const auto r = late_complete(m, 1 << 20);
+        // Origin epoch ~ max(work, transfer) = ~1000 us, not 1340.
+        EXPECT_GT(r.origin_epoch_us, 995.0) << to_string(m);
+        EXPECT_LT(r.origin_epoch_us, 1120.0) << to_string(m);
+    }
+}
+
+// ------------------------------------------------------------ Early Fence
+
+TEST(EarlyFence, BlockingSerializesTransferAndWork) {
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking}) {
+        const double big = early_fence_cumulative_us(m, 1 << 20);
+        EXPECT_GT(big, 1300.0) << to_string(m);  // ~340 + 1000
+        const double small = early_fence_cumulative_us(m, 256 << 10);
+        EXPECT_GT(small, 1080.0) << to_string(m);  // ~85 + 1000
+        EXPECT_LT(small, big) << to_string(m);
+    }
+}
+
+TEST(EarlyFence, NonblockingOverlapsWorkWithTheTransfer) {
+    // Paper: "leading to a cumulative latency of 1010 us".
+    for (std::size_t bytes : {256u << 10, 1u << 20}) {
+        const double c = early_fence_cumulative_us(Mode::NewNonblocking, bytes);
+        EXPECT_GT(c, 1000.0) << bytes;
+        EXPECT_LT(c, 1060.0) << bytes;
+    }
+}
+
+// ---------------------------------------------------------- Wait at Fence
+
+class WaitAtFenceSweep : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, WaitAtFenceSweep,
+                         ::testing::Values(4, 1024, 65536, 1 << 20));
+
+TEST_P(WaitAtFenceSweep, BlockingPropagatesOriginDelayToTarget) {
+    const std::size_t bytes = GetParam();
+    for (Mode m : {Mode::Mvapich, Mode::NewBlocking}) {
+        EXPECT_GT(wait_at_fence_target_us(m, bytes), 1000.0)
+            << to_string(m) << " " << bytes;
+    }
+}
+
+TEST_P(WaitAtFenceSweep, NonblockingTargetSeesOnlyTransferTime) {
+    const std::size_t bytes = GetParam();
+    const double t = wait_at_fence_target_us(Mode::NewNonblocking, bytes);
+    const double bound = bytes >= (1 << 20) ? 420.0 : 120.0;
+    EXPECT_LT(t, bound) << bytes;
+}
+
+// ------------------------------------------------------------ Late Unlock
+
+TEST(LateUnlock, MvapichLazyLocksDodgeItButForfeitOverlap) {
+    const auto r = late_unlock(Mode::Mvapich);
+    // O1 sees the lock as free (O0 only acquires at its unlock call).
+    EXPECT_LT(r.second_lock_us, 420.0);
+    // ...but O0 pays work + transfer serially: no overlap.
+    EXPECT_GT(r.first_lock_us, 1300.0);
+}
+
+TEST(LateUnlock, NewBlockingOverlapsButInflictsLateUnlock) {
+    const auto r = late_unlock(Mode::NewBlocking);
+    // O0 overlaps its transfer with the work: ~1000 us epoch.
+    EXPECT_LT(r.first_lock_us, 1100.0);
+    EXPECT_GT(r.first_lock_us, 995.0);
+    // O1 inherits the whole first epoch plus its own transfer.
+    EXPECT_GT(r.second_lock_us, 1200.0);
+}
+
+TEST(LateUnlock, NonblockingAvoidsBothProblems) {
+    const auto r = late_unlock(Mode::NewNonblocking);
+    // O0 still overlaps (epoch spans the work because completion is
+    // detected after it).
+    EXPECT_LT(r.first_lock_us, 1100.0);
+    // O1 waits only for O0's data transfer plus its own, never the 1000 us.
+    EXPECT_GT(r.second_lock_us, 2 * kTransfer1M - 150.0);
+    EXPECT_LT(r.second_lock_us, 2 * kTransfer1M + 120.0);
+}
+
+// ------------------------------------------------ §VIII-A parity checks
+
+TEST(Parity, EpochLatencySimilarAcrossImplementations) {
+    // "Both the blocking and nonblocking versions of the new implementation
+    // have similar latency performance compared with that of MVAPICH for
+    // all kinds of epochs."
+    for (EpochKind kind :
+         {EpochKind::Fence, EpochKind::Access, EpochKind::Lock}) {
+        const double a = pure_epoch_latency_us(Mode::Mvapich, kind, 65536);
+        const double b = pure_epoch_latency_us(Mode::NewBlocking, kind, 65536);
+        const double c =
+            pure_epoch_latency_us(Mode::NewNonblocking, kind, 65536);
+        EXPECT_LT(std::abs(a - b) / a, 0.25) << to_string(kind);
+        EXPECT_LT(std::abs(a - c) / a, 0.25) << to_string(kind);
+    }
+}
+
+TEST(Parity, LockEpochsOverlapOnlyInTheNewDesign) {
+    // MVAPICH's lazy lock acquisition provides no in-epoch overlap; the new
+    // implementation provides full overlap (paper §VIII-A).
+    const auto work = sim::microseconds(300);
+    const double lazy = lock_overlap_ratio(Mode::Mvapich, 1 << 20, work);
+    const double eager = lock_overlap_ratio(Mode::NewBlocking, 1 << 20, work);
+    const double nb = lock_overlap_ratio(Mode::NewNonblocking, 1 << 20, work);
+    EXPECT_LT(lazy, 0.15);
+    EXPECT_GT(eager, 0.85);
+    EXPECT_GT(nb, 0.85);
+}
