@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_late_post.dir/fig02_late_post.cpp.o"
+  "CMakeFiles/fig02_late_post.dir/fig02_late_post.cpp.o.d"
+  "fig02_late_post"
+  "fig02_late_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_late_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

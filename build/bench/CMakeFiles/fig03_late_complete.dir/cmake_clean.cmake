@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_late_complete.dir/fig03_late_complete.cpp.o"
+  "CMakeFiles/fig03_late_complete.dir/fig03_late_complete.cpp.o.d"
+  "fig03_late_complete"
+  "fig03_late_complete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_late_complete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

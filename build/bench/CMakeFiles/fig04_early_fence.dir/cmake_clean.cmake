@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_early_fence.dir/fig04_early_fence.cpp.o"
+  "CMakeFiles/fig04_early_fence.dir/fig04_early_fence.cpp.o.d"
+  "fig04_early_fence"
+  "fig04_early_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_early_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

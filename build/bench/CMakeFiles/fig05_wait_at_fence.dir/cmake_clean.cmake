@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_wait_at_fence.dir/fig05_wait_at_fence.cpp.o"
+  "CMakeFiles/fig05_wait_at_fence.dir/fig05_wait_at_fence.cpp.o.d"
+  "fig05_wait_at_fence"
+  "fig05_wait_at_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_wait_at_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

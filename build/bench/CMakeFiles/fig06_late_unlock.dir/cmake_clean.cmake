@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_late_unlock.dir/fig06_late_unlock.cpp.o"
+  "CMakeFiles/fig06_late_unlock.dir/fig06_late_unlock.cpp.o.d"
+  "fig06_late_unlock"
+  "fig06_late_unlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_late_unlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

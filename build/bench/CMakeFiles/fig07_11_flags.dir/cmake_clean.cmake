@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_11_flags.dir/fig07_11_flags.cpp.o"
+  "CMakeFiles/fig07_11_flags.dir/fig07_11_flags.cpp.o.d"
+  "fig07_11_flags"
+  "fig07_11_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_11_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

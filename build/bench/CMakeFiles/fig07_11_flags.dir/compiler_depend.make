@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_11_flags.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_transactions.dir/fig12_transactions.cpp.o"
+  "CMakeFiles/fig12_transactions.dir/fig12_transactions.cpp.o.d"
+  "fig12_transactions"
+  "fig12_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

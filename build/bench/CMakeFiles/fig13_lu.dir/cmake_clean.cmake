@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lu.dir/fig13_lu.cpp.o"
+  "CMakeFiles/fig13_lu.dir/fig13_lu.cpp.o.d"
+  "fig13_lu"
+  "fig13_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

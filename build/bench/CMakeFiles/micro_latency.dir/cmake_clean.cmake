@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_latency.dir/micro_latency.cpp.o"
+  "CMakeFiles/micro_latency.dir/micro_latency.cpp.o.d"
+  "micro_latency"
+  "micro_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

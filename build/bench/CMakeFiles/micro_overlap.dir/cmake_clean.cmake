@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_overlap.dir/micro_overlap.cpp.o"
+  "CMakeFiles/micro_overlap.dir/micro_overlap.cpp.o.d"
+  "micro_overlap"
+  "micro_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

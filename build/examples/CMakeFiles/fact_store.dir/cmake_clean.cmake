@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_store.dir/fact_store.cpp.o"
+  "CMakeFiles/fact_store.dir/fact_store.cpp.o.d"
+  "fact_store"
+  "fact_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_solver.dir/lu_solver.cpp.o"
+  "CMakeFiles/lu_solver.dir/lu_solver.cpp.o.d"
+  "lu_solver"
+  "lu_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

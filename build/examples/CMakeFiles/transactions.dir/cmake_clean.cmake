@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactions.dir/transactions.cpp.o"
+  "CMakeFiles/transactions.dir/transactions.cpp.o.d"
+  "transactions"
+  "transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbe_apps.dir/lu.cpp.o"
+  "CMakeFiles/nbe_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/nbe_apps.dir/scenarios.cpp.o"
+  "CMakeFiles/nbe_apps.dir/scenarios.cpp.o.d"
+  "CMakeFiles/nbe_apps.dir/transactions.cpp.o"
+  "CMakeFiles/nbe_apps.dir/transactions.cpp.o.d"
+  "libnbe_apps.a"
+  "libnbe_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbe_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

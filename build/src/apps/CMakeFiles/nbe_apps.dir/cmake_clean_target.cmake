@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnbe_apps.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/rma.cpp" "src/core/CMakeFiles/nbe_core.dir/rma.cpp.o" "gcc" "src/core/CMakeFiles/nbe_core.dir/rma.cpp.o.d"
+  "/root/repo/src/core/window.cpp" "src/core/CMakeFiles/nbe_core.dir/window.cpp.o" "gcc" "src/core/CMakeFiles/nbe_core.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/nbe_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

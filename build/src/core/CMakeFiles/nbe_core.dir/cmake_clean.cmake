@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbe_core.dir/rma.cpp.o"
+  "CMakeFiles/nbe_core.dir/rma.cpp.o.d"
+  "CMakeFiles/nbe_core.dir/window.cpp.o"
+  "CMakeFiles/nbe_core.dir/window.cpp.o.d"
+  "libnbe_core.a"
+  "libnbe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

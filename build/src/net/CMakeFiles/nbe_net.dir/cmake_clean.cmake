@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbe_net.dir/fabric.cpp.o"
+  "CMakeFiles/nbe_net.dir/fabric.cpp.o.d"
+  "libnbe_net.a"
+  "libnbe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbe_rt.dir/world.cpp.o"
+  "CMakeFiles/nbe_rt.dir/world.cpp.o.d"
+  "libnbe_rt.a"
+  "libnbe_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbe_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

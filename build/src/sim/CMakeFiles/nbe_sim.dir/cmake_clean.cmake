@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbe_sim.dir/engine.cpp.o"
+  "CMakeFiles/nbe_sim.dir/engine.cpp.o.d"
+  "libnbe_sim.a"
+  "libnbe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datatype_test.dir/datatype_test.cpp.o"
+  "CMakeFiles/datatype_test.dir/datatype_test.cpp.o.d"
+  "datatype_test"
+  "datatype_test.pdb"
+  "datatype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datatype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

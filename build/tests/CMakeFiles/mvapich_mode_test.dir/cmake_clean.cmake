@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvapich_mode_test.dir/mvapich_mode_test.cpp.o"
+  "CMakeFiles/mvapich_mode_test.dir/mvapich_mode_test.cpp.o.d"
+  "mvapich_mode_test"
+  "mvapich_mode_test.pdb"
+  "mvapich_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvapich_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_basic_test.dir/rma_basic_test.cpp.o"
+  "CMakeFiles/rma_basic_test.dir/rma_basic_test.cpp.o.d"
+  "rma_basic_test"
+  "rma_basic_test.pdb"
+  "rma_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

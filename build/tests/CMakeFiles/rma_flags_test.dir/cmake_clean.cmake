@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_flags_test.dir/rma_flags_test.cpp.o"
+  "CMakeFiles/rma_flags_test.dir/rma_flags_test.cpp.o.d"
+  "rma_flags_test"
+  "rma_flags_test.pdb"
+  "rma_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rma_flush_test.cpp" "tests/CMakeFiles/rma_flush_test.dir/rma_flush_test.cpp.o" "gcc" "tests/CMakeFiles/rma_flush_test.dir/rma_flush_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nbe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/nbe_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/nbe_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nbe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

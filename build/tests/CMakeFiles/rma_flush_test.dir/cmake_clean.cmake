@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_flush_test.dir/rma_flush_test.cpp.o"
+  "CMakeFiles/rma_flush_test.dir/rma_flush_test.cpp.o.d"
+  "rma_flush_test"
+  "rma_flush_test.pdb"
+  "rma_flush_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_flush_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_gats_test.dir/rma_gats_test.cpp.o"
+  "CMakeFiles/rma_gats_test.dir/rma_gats_test.cpp.o.d"
+  "rma_gats_test"
+  "rma_gats_test.pdb"
+  "rma_gats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_gats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

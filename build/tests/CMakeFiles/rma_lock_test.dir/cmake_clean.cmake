@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_lock_test.dir/rma_lock_test.cpp.o"
+  "CMakeFiles/rma_lock_test.dir/rma_lock_test.cpp.o.d"
+  "rma_lock_test"
+  "rma_lock_test.pdb"
+  "rma_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

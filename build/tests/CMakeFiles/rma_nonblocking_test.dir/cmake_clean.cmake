@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_nonblocking_test.dir/rma_nonblocking_test.cpp.o"
+  "CMakeFiles/rma_nonblocking_test.dir/rma_nonblocking_test.cpp.o.d"
+  "rma_nonblocking_test"
+  "rma_nonblocking_test.pdb"
+  "rma_nonblocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_nonblocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

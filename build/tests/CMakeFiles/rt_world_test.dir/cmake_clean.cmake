@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_world_test.dir/rt_world_test.cpp.o"
+  "CMakeFiles/rt_world_test.dir/rt_world_test.cpp.o.d"
+  "rt_world_test"
+  "rt_world_test.pdb"
+  "rt_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

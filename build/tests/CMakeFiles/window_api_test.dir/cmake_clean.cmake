@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_api_test.dir/window_api_test.cpp.o"
+  "CMakeFiles/window_api_test.dir/window_api_test.cpp.o.d"
+  "window_api_test"
+  "window_api_test.pdb"
+  "window_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_patterns_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_flags_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_world_test[1]_include.cmake")
+include("/root/repo/build/tests/net_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_flush_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_nonblocking_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_gats_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_lock_test[1]_include.cmake")
+include("/root/repo/build/tests/datatype_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_property_test[1]_include.cmake")
+include("/root/repo/build/tests/mvapich_mode_test[1]_include.cmake")
+include("/root/repo/build/tests/window_api_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
