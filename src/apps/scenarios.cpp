@@ -14,20 +14,25 @@ std::vector<std::byte> payload(std::size_t bytes) {
 
 }  // namespace
 
-JobConfig internode_config(int ranks, Mode mode) {
+JobConfig internode_config(int ranks, Mode mode,
+                           const net::FaultConfig* fault) {
     JobConfig cfg;
     cfg.ranks = ranks;
     cfg.mode = mode;
     cfg.fabric.ranks_per_node = 1;
+    if (fault != nullptr) {
+        cfg.fabric.fault = *fault;
+        cfg.fabric.reliability.enabled = true;
+    }
     return cfg;
 }
 
 // ---------------------------------------------------------------- Figure 2
 
 LatePostResult late_post(Mode mode, std::size_t put_bytes,
-                         sim::Duration delay) {
+                         sim::Duration delay, const net::FaultConfig* fault) {
     LatePostResult res;
-    run(internode_config(3, mode), [&](Proc& p) {
+    run(internode_config(3, mode, fault), [&](Proc& p) {
         Window win = p.create_window(put_bytes);
         auto buf = payload(put_bytes);
         p.barrier();
@@ -69,9 +74,10 @@ LatePostResult late_post(Mode mode, std::size_t put_bytes,
 // ---------------------------------------------------------------- Figure 3
 
 LateCompleteResult late_complete(Mode mode, std::size_t bytes,
-                                 sim::Duration work) {
+                                 sim::Duration work,
+                                 const net::FaultConfig* fault) {
     LateCompleteResult res;
-    run(internode_config(2, mode), [&](Proc& p) {
+    run(internode_config(2, mode, fault), [&](Proc& p) {
         Window win = p.create_window(bytes);
         auto buf = payload(bytes);
         p.barrier();
@@ -107,9 +113,10 @@ LateCompleteResult late_complete(Mode mode, std::size_t bytes,
 // ---------------------------------------------------------------- Figure 4
 
 double early_fence_cumulative_us(Mode mode, std::size_t bytes,
-                                 sim::Duration work) {
+                                 sim::Duration work,
+                                 const net::FaultConfig* fault) {
     double cumulative = 0;
-    run(internode_config(2, mode), [&](Proc& p) {
+    run(internode_config(2, mode, fault), [&](Proc& p) {
         Window win = p.create_window(bytes);
         auto buf = payload(bytes);
         p.barrier();
@@ -136,9 +143,10 @@ double early_fence_cumulative_us(Mode mode, std::size_t bytes,
 // ---------------------------------------------------------------- Figure 5
 
 double wait_at_fence_target_us(Mode mode, std::size_t bytes,
-                               sim::Duration work) {
+                               sim::Duration work,
+                               const net::FaultConfig* fault) {
     double target_us = 0;
-    run(internode_config(2, mode), [&](Proc& p) {
+    run(internode_config(2, mode, fault), [&](Proc& p) {
         Window win = p.create_window(bytes);
         auto buf = payload(bytes);
         p.barrier();
@@ -170,9 +178,10 @@ double wait_at_fence_target_us(Mode mode, std::size_t bytes,
 // ---------------------------------------------------------------- Figure 6
 
 LateUnlockResult late_unlock(Mode mode, std::size_t bytes,
-                             sim::Duration work) {
+                             sim::Duration work,
+                             const net::FaultConfig* fault) {
     LateUnlockResult res;
-    run(internode_config(3, mode), [&](Proc& p) {
+    run(internode_config(3, mode, fault), [&](Proc& p) {
         Window win = p.create_window(bytes);
         auto buf = payload(bytes);
         p.barrier();

@@ -17,8 +17,11 @@ namespace nbe::apps {
 /// Default artificial delay used by every pattern scenario (paper: 1000 us).
 inline constexpr sim::Duration kDelay = sim::microseconds(1000);
 
-/// JobConfig with one rank per node (internode paths everywhere).
-JobConfig internode_config(int ranks, Mode mode);
+/// JobConfig with one rank per node (internode paths everywhere). When
+/// `fault` is given, the fabric runs the reliable-delivery sublayer with
+/// that fault model (the patterns then exercise retransmission paths).
+JobConfig internode_config(int ranks, Mode mode,
+                           const net::FaultConfig* fault = nullptr);
 
 // ---------------------------------------------------------------- Figure 2
 
@@ -30,7 +33,8 @@ struct LatePostResult {
     double cumulative_us = 0;    ///< both activities, wall-clock at the origin
 };
 LatePostResult late_post(Mode mode, std::size_t put_bytes = 1 << 20,
-                         sim::Duration delay = kDelay);
+                         sim::Duration delay = kDelay,
+                         const net::FaultConfig* fault = nullptr);
 
 // ---------------------------------------------------------------- Figure 3
 
@@ -41,7 +45,8 @@ struct LateCompleteResult {
     double origin_epoch_us = 0;  ///< start -> completion at the origin
 };
 LateCompleteResult late_complete(Mode mode, std::size_t bytes,
-                                 sim::Duration work = kDelay);
+                                 sim::Duration work = kDelay,
+                                 const net::FaultConfig* fault = nullptr);
 
 // ---------------------------------------------------------------- Figure 4
 
@@ -49,14 +54,16 @@ LateCompleteResult late_complete(Mode mode, std::size_t bytes,
 /// its fence immediately and then performs `work` of CPU-bound activity.
 /// Returns the target's cumulative latency of epoch close + work.
 double early_fence_cumulative_us(Mode mode, std::size_t bytes,
-                                 sim::Duration work = kDelay);
+                                 sim::Duration work = kDelay,
+                                 const net::FaultConfig* fault = nullptr);
 
 // ---------------------------------------------------------------- Figure 5
 
 /// Wait at Fence: the origin delays its closing fence by `work` beyond the
 /// end of its transfers. Returns the target's closing-fence epoch length.
 double wait_at_fence_target_us(Mode mode, std::size_t bytes,
-                               sim::Duration work = kDelay);
+                               sim::Duration work = kDelay,
+                               const net::FaultConfig* fault = nullptr);
 
 // ---------------------------------------------------------------- Figure 6
 
@@ -67,7 +74,8 @@ struct LateUnlockResult {
     double second_lock_us = 0;  ///< O1's epoch (the Late Unlock victim)
 };
 LateUnlockResult late_unlock(Mode mode, std::size_t bytes = 1 << 20,
-                             sim::Duration work = kDelay);
+                             sim::Duration work = kDelay,
+                             const net::FaultConfig* fault = nullptr);
 
 // ------------------------------------------------------- Figures 7-11
 

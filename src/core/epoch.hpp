@@ -69,6 +69,10 @@ struct Epoch {
 
     enum class Phase : std::uint8_t { Deferred, Active, Completed };
     Phase phase = Phase::Deferred;
+    /// NBE_SUCCESS, or the error this epoch was aborted with (link failure
+    /// toward one of its peers). Aborted epochs count as Completed; closing
+    /// one returns an already-failed request.
+    nbe::Status error = nbe::NBE_SUCCESS;
     bool closed_app = false;  ///< Close requested at application level.
     bool has_ops = false;     ///< At least one RMA call recorded/issued.
     /// MVAPICH mode: a flush forces a lazily-deferred passive-target epoch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <string>
 
 #include "core/datatype.hpp"
@@ -50,7 +51,12 @@ Rma::Rma(rt::World& world)
             handle_packet(r, std::move(p));
         });
     }
+    world_.subscribe_link_down(
+        [this](Rank src, Rank dst) { on_link_down(src, dst); });
+    diag_id_ = world_.engine().add_diagnostic([this] { return diagnostic_dump(); });
 }
+
+Rma::~Rma() { world_.engine().remove_diagnostic(diag_id_); }
 
 std::uint32_t Rma::create_window(Rank r, std::size_t bytes, const WinInfo& info) {
     auto& per_rank = wins_.at(static_cast<std::size_t>(r));
@@ -111,6 +117,18 @@ EpochPtr Rma::open_epoch(WinState& w, EpochKind kind, LockType lt,
     auto& st = stats_[static_cast<std::size_t>(w.rank)];
     ++st.epochs_opened;
     w.open_app.push_back(e);
+
+    // An epoch opened toward an already-dead peer can never complete: abort
+    // it at creation so its close returns an error instead of deadlocking.
+    auto& fabric = world_.fabric();
+    for (Rank p : e->peers) {
+        if (p != w.rank &&
+            (fabric.link_failed(w.rank, p) || fabric.link_failed(p, w.rank))) {
+            abort_epoch(w, e, NBE_ERR_LINK_DOWN);
+            return e;
+        }
+    }
+
     w.deferred.push_back(e);
     st.max_deferred_epochs =
         std::max<std::uint64_t>(st.max_deferred_epochs, w.deferred.size());
@@ -123,8 +141,17 @@ Request Rma::close_epoch(WinState& w, const EpochPtr& e) {
     NBE_TRACE("[%ld] r%d w%u close seq=%lu kind=%s phase=%d", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind), (int)e->phase);
     if (e->closed_app) throw std::logic_error("epoch closed twice");
     e->closed_app = true;
-    e->close_req = std::make_shared<rt::RequestState>();
     w.open_app.erase(std::find(w.open_app.begin(), w.open_app.end(), e));
+    if (e->error != NBE_SUCCESS) {
+        // Aborted (link failure) before the application closed it.
+        e->close_req = rt::RequestState::failed(e->error);
+        return Request(e->close_req);
+    }
+    e->close_req = std::make_shared<rt::RequestState>();
+    e->close_req->set_label("close " + std::string(to_string(e->kind)) +
+                            " epoch(win " + std::to_string(w.id) + ", seq " +
+                            std::to_string(e->seq) + ") @ rank" +
+                            std::to_string(w.rank));
     Request out(e->close_req);
     if (e->phase == Epoch::Phase::Active) {
         drive_epoch(w, e);
@@ -762,8 +789,8 @@ void Rma::handle_packet(Rank r, net::Packet&& p) {
         case kAccRts: on_acc_rts(w, std::move(p)); break;
         case kAccCts: on_acc_cts(w, std::move(p)); break;
         default:
-            throw std::logic_error("unknown RMA packet kind " +
-                                   std::to_string(p.kind));
+            ++stats_[static_cast<std::size_t>(r)].protocol_errors;
+            break;
     }
 }
 
@@ -819,7 +846,8 @@ void Rma::on_unlock_ack(WinState& w, Rank from) {
             return;
         }
     }
-    throw std::logic_error("unlock ack with no pending unlock");
+    // No pending unlock: the epoch was aborted after sending the unlock.
+    ++stats_[static_cast<std::size_t>(w.rank)].protocol_errors;
 }
 
 void Rma::on_data(WinState& w, net::Packet&& p) {
@@ -906,7 +934,9 @@ void Rma::on_get_reply(WinState& w, net::Packet&& p) {
     const std::uint64_t op_id = p.header[3];
     auto it = w.pending_replies.find(op_id);
     if (it == w.pending_replies.end()) {
-        throw std::logic_error("get reply for unknown op");
+        // Reply for an op whose epoch was aborted meanwhile: drop.
+        ++stats_[static_cast<std::size_t>(w.rank)].protocol_errors;
+        return;
     }
     auto [e, op] = it->second;
     w.pending_replies.erase(it);
@@ -937,13 +967,129 @@ void Rma::on_acc_rts(WinState& w, net::Packet&& p) {
 void Rma::on_acc_cts(WinState& w, net::Packet&& p) {
     auto it = w.pending_acc_rndv.find(p.header[1]);
     if (it == w.pending_acc_rndv.end()) {
-        throw std::logic_error("accumulate CTS for unknown op");
+        // CTS for an op whose epoch was aborted meanwhile: drop.
+        ++stats_[static_cast<std::size_t>(w.rank)].protocol_errors;
+        return;
     }
     auto [e, op] = it->second;
     w.pending_acc_rndv.erase(it);
     send_op_data(w, e, op);
     op->local_done = true;
     note_op_completion_for_flushes(w, *op, /*local_event=*/true);
+}
+
+// ========================================================== fault handling
+
+void Rma::on_link_down(Rank src, Rank dst) {
+    abort_epochs_toward(src, dst, NBE_ERR_LINK_DOWN);
+    if (src != dst) abort_epochs_toward(dst, src, NBE_ERR_LINK_DOWN);
+}
+
+void Rma::abort_epochs_toward(Rank r, Rank peer, Status s) {
+    for (auto& wptr : wins_[static_cast<std::size_t>(r)]) {
+        WinState& w = *wptr;
+        std::vector<EpochPtr> doomed;
+        auto consider = [&](const EpochPtr& e) {
+            if (e->phase == Epoch::Phase::Completed) return;
+            if (!std::binary_search(e->peers.begin(), e->peers.end(), peer)) {
+                return;
+            }
+            if (std::find(doomed.begin(), doomed.end(), e) == doomed.end()) {
+                doomed.push_back(e);
+            }
+        };
+        for (auto& e : w.open_app) consider(e);
+        for (auto& e : w.deferred) consider(e);
+        for (auto& e : w.active) consider(e);
+        for (auto& e : doomed) abort_epoch(w, e, s);
+    }
+}
+
+void Rma::abort_epoch(WinState& w, const EpochPtr& e, Status s) {
+    if (e->phase == Epoch::Phase::Completed) return;
+    NBE_TRACE("[%ld] r%d w%u abort seq=%lu kind=%s status=%s",
+              (long)world_.engine().now(), w.rank, w.id,
+              (unsigned long)e->seq, to_string(e->kind), nbe::to_string(s));
+    e->error = s;
+    e->phase = Epoch::Phase::Completed;
+    if (auto it = std::find(w.deferred.begin(), w.deferred.end(), e);
+        it != w.deferred.end()) {
+        w.deferred.erase(it);
+    }
+    if (auto it = std::find(w.active.begin(), w.active.end(), e);
+        it != w.active.end()) {
+        w.active.erase(it);
+    }
+    // The epoch stays in open_app if the application has not closed it yet;
+    // the eventual close returns the failure (see close_epoch).
+    for (auto& op : e->ops) {
+        w.pending_replies.erase(op->id);
+        w.pending_acc_rndv.erase(op->id);
+        // Fail flushes that were counting this op before failing the op
+        // itself, so the flush sees a consistent pending count.
+        for (auto fit = w.flushes.begin(); fit != w.flushes.end();) {
+            FlushReq& f = *fit;
+            const bool in_scope = (f.target < 0 || f.target == op->target) &&
+                                  op->age <= f.age_limit;
+            const bool counted =
+                in_scope && !(f.local_only ? op->local_done : op->remote_done);
+            if (counted) {
+                f.req->fail(world_.engine(), s);
+                fit = w.flushes.erase(fit);
+            } else {
+                ++fit;
+            }
+        }
+        if (op->op_req) op->op_req->fail(world_.engine(), s);
+    }
+    if (e->close_req) e->close_req->fail(world_.engine(), s);
+    ++stats_[static_cast<std::size_t>(w.rank)].epochs_aborted;
+    activation_scan(w);
+}
+
+std::string Rma::diagnostic_dump() const {
+    std::ostringstream os;
+    for (Rank r = 0; r < world_.nranks(); ++r) {
+        for (const auto& wptr : wins_[static_cast<std::size_t>(r)]) {
+            const WinState& w = *wptr;
+            // Every epoch not yet completed, wherever it currently sits.
+            std::vector<const Epoch*> open;
+            auto consider = [&](const EpochPtr& e) {
+                if (e->phase == Epoch::Phase::Completed) return;
+                for (const Epoch* seen : open) {
+                    if (seen == e.get()) return;
+                }
+                open.push_back(e.get());
+            };
+            for (const auto& e : w.open_app) consider(e);
+            for (const auto& e : w.deferred) consider(e);
+            for (const auto& e : w.active) consider(e);
+            for (const Epoch* e : open) {
+                std::uint32_t granted = 0;
+                std::uint32_t done = 0;
+                std::uint32_t total = 0;
+                for (const auto& [t, ps] : e->peer) {
+                    if (ps.granted) ++granted;
+                    done += ps.ops_done;
+                    total += ps.ops_total;
+                }
+                os << "  rank" << r << " win" << w.id << " epoch seq="
+                   << e->seq << " kind=" << to_string(e->kind) << " phase="
+                   << (e->phase == Epoch::Phase::Deferred ? "deferred"
+                                                          : "active")
+                   << (e->closed_app ? " closed" : " open") << " peers=[";
+                for (std::size_t i = 0; i < e->peers.size() && i < 8; ++i) {
+                    os << (i ? "," : "") << e->peers[i];
+                }
+                if (e->peers.size() > 8) os << ",...";
+                os << "] granted=" << granted << "/" << e->peers.size()
+                   << " ops_done=" << done << "/" << total << "\n";
+            }
+        }
+    }
+    std::string body = os.str();
+    if (body.empty()) return body;
+    return "-- rma open epochs --\n" + body;
 }
 
 void Rma::sweep(Rank r) {

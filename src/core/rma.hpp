@@ -45,11 +45,14 @@ struct RmaStats {
     std::uint64_t sweeps = 0;
     std::uint64_t max_active_epochs = 0;
     std::uint64_t max_deferred_epochs = 0;
+    std::uint64_t epochs_aborted = 0;   ///< aborted by a link failure
+    std::uint64_t protocol_errors = 0;  ///< malformed/stale packets dropped
 };
 
 class Rma {
 public:
     explicit Rma(rt::World& world);
+    ~Rma();
 
     Rma(const Rma&) = delete;
     Rma& operator=(const Rma&) = delete;
@@ -100,6 +103,10 @@ public:
     [[nodiscard]] std::size_t active_count(Rank r, std::uint32_t win) const;
     [[nodiscard]] std::uint64_t granted_counter(Rank r, std::uint32_t win,
                                                 Rank from) const;
+
+    /// Multi-line dump of every rank's open epoch state; registered as an
+    /// engine deadlock diagnostic.
+    [[nodiscard]] std::string diagnostic_dump() const;
 
 private:
     // RMA packet kinds (offset past rt::World::kRmaKindBase).
@@ -195,11 +202,20 @@ private:
     void send_control(Rank src, Rank dst, std::uint32_t kind, std::uint32_t win,
                       std::uint64_t h1, std::uint64_t h2 = 0);
 
+    // ---- fault handling ----
+    /// Reacts to a directed link failure: the pair is treated as partitioned
+    /// for RMA purposes, so epochs involving the other endpoint abort on
+    /// both ranks.
+    void on_link_down(Rank src, Rank dst);
+    void abort_epochs_toward(Rank r, Rank peer, Status s);
+    void abort_epoch(WinState& w, const EpochPtr& e, Status s);
+
     rt::World& world_;
     Mode mode_;
     std::vector<std::vector<std::unique_ptr<WinState>>> wins_;  // [rank][win]
     std::vector<RmaStats> stats_;
     std::size_t acc_rndv_threshold_ = 8192;  ///< paper: >8 KB accumulates
+    std::uint64_t diag_id_ = 0;
 };
 
 }  // namespace nbe::rma

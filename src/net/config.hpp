@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "net/fault.hpp"
 #include "sim/time.hpp"
 
 namespace nbe::net {
@@ -52,6 +53,15 @@ struct FabricConfig {
     /// Buffers at or above this size require registration before an
     /// internode transfer.
     std::size_t pin_threshold = 16384;
+
+    /// Deterministic fault injection (drops, duplicates, corruption, jitter,
+    /// scripted outages). Off by default.
+    FaultConfig fault{};
+
+    /// Link-level reliable delivery (sequence numbers, cumulative ACKs,
+    /// bounded retransmission). Off by default; required for the fabric to
+    /// survive injected faults without losing per-link FIFO order.
+    ReliabilityConfig reliability{};
 };
 
 }  // namespace nbe::net

@@ -1,14 +1,36 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 namespace nbe::net {
+
+namespace {
+
+/// Copy of a packet for one wire transmission: payload and routing only.
+/// Completion callbacks stay with the sender-side authoritative copy so
+/// they fire exactly once however many times the frame crosses the wire.
+Packet wire_clone(const Packet& p) {
+    Packet w;
+    w.src = p.src;
+    w.dst = p.dst;
+    w.kind = p.kind;
+    w.header = p.header;
+    w.payload = p.payload;
+    w.rel_seq = p.rel_seq;
+    return w;
+}
+
+}  // namespace
 
 Fabric::Fabric(sim::Engine& engine, int nranks, FabricConfig cfg)
     : engine_(engine),
       nranks_(nranks),
       cfg_(cfg),
+      reliable_(cfg.reliability.enabled),
+      fault_rng_(cfg.fault.seed),
       handlers_(static_cast<std::size_t>(nranks)),
       nic_tx_free_(static_cast<std::size_t>(nranks), 0),
       shm_tx_free_(static_cast<std::size_t>(nranks), 0),
@@ -22,7 +44,13 @@ Fabric::Fabric(sim::Engine& engine, int nranks, FabricConfig cfg)
     if (cfg.tx_credits <= 0) {
         throw std::invalid_argument("Fabric: tx_credits must be > 0");
     }
+    if (cfg.reliability.max_retries < 0 || cfg.reliability.backoff < 1.0) {
+        throw std::invalid_argument("Fabric: bad reliability config");
+    }
+    diag_id_ = engine_.add_diagnostic([this] { return diagnostic_dump(); });
 }
+
+Fabric::~Fabric() { engine_.remove_diagnostic(diag_id_); }
 
 void Fabric::set_handler(Rank r, Handler h) { handlers_.at(asz(r)) = std::move(h); }
 
@@ -31,22 +59,85 @@ std::size_t Fabric::wire_bytes(const Packet& p) const noexcept {
     return p.payload.size() + cfg_.header_bytes;
 }
 
+sim::Duration Fabric::draw_jitter() {
+    if (cfg_.fault.jitter_max <= 0) return 0;
+    return static_cast<sim::Duration>(
+        fault_rng_.below(static_cast<std::uint64_t>(cfg_.fault.jitter_max) + 1));
+}
+
+bool Fabric::link_failed(Rank src, Rank dst) const {
+    const auto it = links_.find(link_key(src, dst));
+    return it != links_.end() && it->second.failed;
+}
+
+void Fabric::fail_link_now(Rank src, Rank dst) {
+    if (src < 0 || src >= nranks_ || dst < 0 || dst >= nranks_) {
+        throw std::out_of_range("Fabric::fail_link_now: rank out of range");
+    }
+    const std::uint64_t key = link_key(src, dst);
+    fail_link(key, links_[key], /*trigger_seq=*/0);
+}
+
 void Fabric::send(Packet&& p, sim::Duration extra_src_delay) {
     if (p.src < 0 || p.src >= nranks_ || p.dst < 0 || p.dst >= nranks_) {
-        throw std::out_of_range("Fabric::send: rank out of range");
+        throw std::out_of_range("Fabric::send: rank out of range (src=" +
+                                std::to_string(p.src) +
+                                ", dst=" + std::to_string(p.dst) + ")");
     }
+    // src == dst is valid loopback: it takes the intranode channel
+    // (same_node is trivially true) and needs no special casing below.
+    const Rank src = p.src;
     const bool internode = !same_node(p.src, p.dst);
+
+    if (reliable_) {
+        const std::uint64_t key = link_key(p.src, p.dst);
+        LinkState& l = links_[key];
+        if (l.failed) {
+            fail_packet(std::move(p), NBE_ERR_LINK_DOWN);
+            return;
+        }
+        const std::uint64_t seq = l.next_tx++;
+        p.rel_seq = seq;
+        InFlight f;
+        f.pkt = std::move(p);
+        f.extra_delay = extra_src_delay;
+        f.internode = internode;
+        auto [it, inserted] = l.unacked.emplace(seq, std::move(f));
+        (void)inserted;
+        if (internode) {
+            auto& cr = credits_[asz(src)];
+            if (cr == 0) {
+                ++stats_.credit_stalls;
+                Stalled s;
+                s.reliable = true;
+                s.link_key = key;
+                s.seq = seq;
+                stalled_[asz(src)].push_back(std::move(s));
+                return;
+            }
+            --cr;
+            it->second.credit_held = true;
+        }
+        transmit_rel(l, key, seq);
+        return;
+    }
+
     if (internode) {
-        auto& cr = credits_[asz(p.src)];
+        auto& cr = credits_[asz(src)];
         if (cr == 0) {
             ++stats_.credit_stalls;
-            stalled_[asz(p.src)].push_back(Stalled{std::move(p), extra_src_delay});
+            Stalled s;
+            s.packet = std::move(p);
+            s.extra_delay = extra_src_delay;
+            stalled_[asz(src)].push_back(std::move(s));
             return;
         }
         --cr;
     }
     transmit(std::move(p), extra_src_delay);
 }
+
+// ------------------------------------------------------------ lossless path
 
 void Fabric::transmit(Packet&& p, sim::Duration extra_src_delay) {
     const bool internode = !same_node(p.src, p.dst);
@@ -60,15 +151,58 @@ void Fabric::transmit(Packet&& p, sim::Duration extra_src_delay) {
     const sim::Time start = std::max(ready, tx_free);
     const sim::Time end = start + sim::serialization_delay(bytes, bw);
     tx_free = end;
-    const sim::Time delivered_at = end + lat;
-    const sim::Time acked_at = delivered_at + lat;
 
     ++stats_.packets_sent;
     stats_.bytes_sent += bytes;
 
+    // Fault draws happen in a fixed order per transmission so a given
+    // (workload, FaultConfig) replays bit-identically.
+    bool dropped = false;
+    bool corrupted = false;
+    bool duplicated = false;
+    sim::Duration jitter = 0;
+    sim::Duration dup_jitter = 0;
+    if (cfg_.fault.enabled) {
+        dropped = fault_rng_.uniform() < cfg_.fault.drop_prob;
+        corrupted = fault_rng_.uniform() < cfg_.fault.corrupt_prob;
+        duplicated = fault_rng_.uniform() < cfg_.fault.dup_prob;
+        jitter = draw_jitter();
+        if (duplicated) dup_jitter = draw_jitter();
+        if (cfg_.fault.down_at(p.src, p.dst, start)) dropped = true;
+    }
+    if (dropped) {
+        // Without the reliability sublayer a lost frame is lost for good —
+        // on_acked never fires and an internode credit leaks, exactly the
+        // silent-stall failure mode the reliable mode exists to prevent.
+        ++stats_.drops_injected;
+        return;
+    }
+    const sim::Time delivered_at = end + lat + jitter;
+    const sim::Time acked_at = delivered_at + lat;
+
+    if (duplicated) {
+        // The receiver has no sequence numbers here, so the duplicate is
+        // processed as a fresh packet (handler only; no second ack/credit).
+        auto dup = std::make_shared<Packet>(wire_clone(p));
+        engine_.schedule_at(end + lat + dup_jitter, [this, dup] {
+            deliver_to_handler(std::move(*dup));
+        });
+    }
+
     // shared_ptr: the event std::function must be copyable.
     auto boxed = std::make_shared<Packet>(std::move(p));
-    engine_.schedule_at(delivered_at, [this, boxed, acked_at] {
+    engine_.schedule_at(delivered_at, [this, boxed, acked_at, corrupted] {
+        if (corrupted) {
+            // Checksum failure: discard above the wire. The (simulated)
+            // hardware ack still returns, so credits do not leak.
+            ++stats_.corrupt_detected;
+            const Rank src = boxed->src;
+            const bool inter = !same_node(boxed->src, boxed->dst);
+            engine_.schedule_at(acked_at, [this, src, inter] {
+                if (inter) return_credit(src);
+            });
+            return;
+        }
         deliver(std::move(*boxed), acked_at);
     });
 }
@@ -76,13 +210,8 @@ void Fabric::transmit(Packet&& p, sim::Duration extra_src_delay) {
 void Fabric::deliver(Packet&& p, sim::Time acked_at) {
     const Rank src = p.src;
     const bool internode = !same_node(p.src, p.dst);
-    auto& handler = handlers_[asz(p.dst)];
-    if (!handler) {
-        throw std::logic_error("Fabric: no handler registered for rank " +
-                               std::to_string(p.dst));
-    }
     auto on_acked = std::move(p.on_acked);
-    handler(std::move(p));
+    deliver_to_handler(std::move(p));
     engine_.schedule_at(acked_at, [this, src, internode,
                                    cb = std::move(on_acked), acked_at] {
         if (internode) return_credit(src);
@@ -90,16 +219,227 @@ void Fabric::deliver(Packet&& p, sim::Time acked_at) {
     });
 }
 
+void Fabric::deliver_to_handler(Packet&& p) {
+    auto& handler = handlers_[asz(p.dst)];
+    if (!handler) {
+        throw std::logic_error("Fabric: no handler registered for rank " +
+                               std::to_string(p.dst));
+    }
+    handler(std::move(p));
+}
+
+// ------------------------------------------------------------ reliable path
+
+void Fabric::transmit_rel(LinkState& l, std::uint64_t key, std::uint64_t seq) {
+    InFlight& f = l.unacked.at(seq);
+    const Rank src = f.pkt.src;
+    const Rank dst = f.pkt.dst;
+    const bool internode = !same_node(src, dst);
+    const std::size_t bytes = wire_bytes(f.pkt);
+    const double bw = internode ? cfg_.inter_bandwidth : cfg_.intra_bandwidth;
+    const sim::Duration lat = internode ? cfg_.inter_latency : cfg_.intra_latency;
+    auto& tx_free = internode ? nic_tx_free_[asz(src)] : shm_tx_free_[asz(src)];
+
+    const sim::Time ready = engine_.now() + cfg_.sw_overhead + f.extra_delay;
+    f.extra_delay = 0;  // registration pin is charged once, not per retry
+    const sim::Time start = std::max(ready, tx_free);
+    const sim::Time end = start + sim::serialization_delay(bytes, bw);
+    tx_free = end;
+
+    if (f.retries == 0) ++stats_.packets_sent;
+    stats_.bytes_sent += bytes;
+
+    bool dropped = false;
+    bool corrupted = false;
+    bool duplicated = false;
+    sim::Duration jitter = 0;
+    sim::Duration dup_jitter = 0;
+    if (cfg_.fault.enabled) {
+        dropped = fault_rng_.uniform() < cfg_.fault.drop_prob;
+        corrupted = fault_rng_.uniform() < cfg_.fault.corrupt_prob;
+        duplicated = fault_rng_.uniform() < cfg_.fault.dup_prob;
+        jitter = draw_jitter();
+        if (duplicated) dup_jitter = draw_jitter();
+        if (cfg_.fault.down_at(src, dst, start)) dropped = true;
+    }
+
+    if (dropped) {
+        ++stats_.drops_injected;
+    } else {
+        auto boxed = std::make_shared<Packet>(wire_clone(f.pkt));
+        engine_.schedule_at(end + lat + jitter,
+                            [this, key, seq, corrupted, boxed] {
+                                deliver_rel(key, seq, corrupted,
+                                            std::move(*boxed));
+                            });
+        if (duplicated) {
+            auto dup = std::make_shared<Packet>(wire_clone(f.pkt));
+            engine_.schedule_at(end + lat + dup_jitter, [this, key, seq, dup] {
+                deliver_rel(key, seq, /*corrupted=*/false, std::move(*dup));
+            });
+        }
+    }
+
+    // Arm the retransmission timer past the deterministic round-trip
+    // estimate for this frame; the margin backs off exponentially.
+    double margin = static_cast<double>(cfg_.reliability.rto_margin);
+    for (int i = 0; i < f.retries; ++i) margin *= cfg_.reliability.backoff;
+    const std::uint64_t gen = ++f.timer_gen;
+    engine_.schedule_at(end + 2 * lat + static_cast<sim::Duration>(margin),
+                        [this, key, seq, gen] { on_timeout(key, seq, gen); });
+}
+
+void Fabric::deliver_rel(std::uint64_t key, std::uint64_t seq, bool corrupted,
+                         Packet&& wire) {
+    auto it = links_.find(key);
+    if (it == links_.end()) return;
+    LinkState& l = it->second;
+    if (l.failed) return;
+    if (corrupted) {
+        // Failed checksum: discard without acking; the sender's timer will
+        // retransmit the frame.
+        ++stats_.corrupt_detected;
+        return;
+    }
+    // Collect in-order deliveries first: the handlers below may re-enter
+    // send() and rehash links_, so `l` must not be touched afterwards.
+    std::vector<Packet> ready;
+    if (seq < l.rx_next) {
+        ++stats_.dup_delivered;  // already consumed; re-ack (ack was lost)
+    } else if (seq == l.rx_next) {
+        ++l.rx_next;
+        ready.push_back(std::move(wire));
+        while (!l.rx_ooo.empty() && l.rx_ooo.begin()->first == l.rx_next) {
+            ready.push_back(std::move(l.rx_ooo.begin()->second));
+            l.rx_ooo.erase(l.rx_ooo.begin());
+            ++l.rx_next;
+        }
+    } else if (!l.rx_ooo.emplace(seq, std::move(wire)).second) {
+        ++stats_.dup_delivered;
+    }
+    send_ack(key, l);
+    for (auto& p : ready) deliver_to_handler(std::move(p));
+}
+
+void Fabric::send_ack(std::uint64_t key, const LinkState& l) {
+    const Rank src = static_cast<Rank>(key / static_cast<std::uint64_t>(nranks_));
+    const Rank dst = static_cast<Rank>(key % static_cast<std::uint64_t>(nranks_));
+    // ACKs ride the return path as 64-bit piggyback frames: latency only,
+    // no bandwidth or credit cost. They are still subject to loss.
+    if (cfg_.fault.enabled && fault_rng_.uniform() < cfg_.fault.drop_prob) {
+        ++stats_.drops_injected;
+        return;
+    }
+    const sim::Duration lat =
+        same_node(src, dst) ? cfg_.intra_latency : cfg_.inter_latency;
+    const std::uint64_t upto = l.rx_next - 1;
+    engine_.schedule_after(lat, [this, key, upto] { on_ack(key, upto); });
+}
+
+void Fabric::on_ack(std::uint64_t key, std::uint64_t upto) {
+    auto it = links_.find(key);
+    if (it == links_.end()) return;
+    LinkState& l = it->second;
+    if (l.failed || upto <= l.acked) return;
+    l.acked = upto;
+    std::vector<InFlight> completed;
+    while (!l.unacked.empty() && l.unacked.begin()->first <= upto) {
+        completed.push_back(std::move(l.unacked.begin()->second));
+        l.unacked.erase(l.unacked.begin());
+    }
+    // Callbacks and credit returns may re-enter the fabric; `l` is dead
+    // from here on.
+    const sim::Time now = engine_.now();
+    for (auto& f : completed) {
+        if (f.credit_held) return_credit(f.pkt.src);
+        if (f.pkt.on_acked) f.pkt.on_acked(now);
+    }
+}
+
+void Fabric::on_timeout(std::uint64_t key, std::uint64_t seq,
+                        std::uint64_t gen) {
+    auto it = links_.find(key);
+    if (it == links_.end()) return;
+    LinkState& l = it->second;
+    if (l.failed) return;
+    auto uit = l.unacked.find(seq);
+    if (uit == l.unacked.end()) return;       // acked in the meantime
+    InFlight& f = uit->second;
+    if (f.timer_gen != gen) return;           // superseded by a retransmission
+    if (f.retries >= cfg_.reliability.max_retries) {
+        fail_link(key, l, seq);
+        return;
+    }
+    ++f.retries;
+    ++stats_.retransmits;
+    transmit_rel(l, key, seq);
+}
+
+void Fabric::fail_link(std::uint64_t key, LinkState& l,
+                       std::uint64_t trigger_seq) {
+    if (l.failed) return;
+    l.failed = true;
+    ++stats_.links_failed;
+    const Rank src = static_cast<Rank>(key / static_cast<std::uint64_t>(nranks_));
+    const Rank dst = static_cast<Rank>(key % static_cast<std::uint64_t>(nranks_));
+
+    // Drop queue entries for this link first: their packets are completed
+    // (with an error) through the unacked sweep below.
+    auto& q = stalled_[asz(src)];
+    q.erase(std::remove_if(q.begin(), q.end(),
+                           [&](const Stalled& s) {
+                               return s.reliable && s.link_key == key;
+                           }),
+            q.end());
+
+    std::map<std::uint64_t, InFlight> pending;
+    pending.swap(l.unacked);
+    l.rx_ooo.clear();
+    // `l` must not be used past this point: credit returns below can
+    // transmit stalled packets and rehash links_.
+    for (auto& [seq, f] : pending) {
+        const Status st =
+            seq == trigger_seq ? NBE_ERR_TIMEOUT : NBE_ERR_LINK_DOWN;
+        if (f.credit_held) return_credit(src);
+        if (f.pkt.on_error) {
+            engine_.schedule_at(
+                engine_.now(),
+                [cb = std::move(f.pkt.on_error), st] { cb(st); });
+        }
+    }
+    if (link_down_handler_) {
+        engine_.schedule_at(engine_.now(),
+                            [this, src, dst] { link_down_handler_(src, dst); });
+    }
+}
+
+void Fabric::fail_packet(Packet&& p, Status s) {
+    if (!p.on_error) return;
+    engine_.schedule_at(engine_.now(),
+                        [cb = std::move(p.on_error), s] { cb(s); });
+}
+
+// ------------------------------------------------------------------ credits
+
 void Fabric::return_credit(Rank src) {
     auto& q = stalled_[asz(src)];
-    if (!q.empty()) {
-        // Hand the credit straight to the oldest stalled packet.
+    while (!q.empty()) {
         Stalled s = std::move(q.front());
         q.pop_front();
-        transmit(std::move(s.packet), s.extra_delay);
-    } else {
-        ++credits_[asz(src)];
+        if (s.reliable) {
+            auto it = links_.find(s.link_key);
+            if (it == links_.end() || it->second.failed ||
+                it->second.unacked.find(s.seq) == it->second.unacked.end()) {
+                continue;  // stale entry (link failed meanwhile)
+            }
+            it->second.unacked.at(s.seq).credit_held = true;
+            transmit_rel(it->second, s.link_key, s.seq);
+        } else {
+            transmit(std::move(s.packet), s.extra_delay);
+        }
+        return;  // the credit went straight to the oldest stalled packet
     }
+    ++credits_[asz(src)];
 }
 
 sim::Duration Fabric::pin(Rank r, std::uint64_t key, std::size_t bytes) {
@@ -118,6 +458,42 @@ sim::Duration Fabric::pin(Rank r, std::uint64_t key, std::size_t bytes) {
         cache.lru.pop_back();
     }
     return cfg_.pin_cost;
+}
+
+// -------------------------------------------------------------- diagnostics
+
+std::string Fabric::diagnostic_dump() const {
+    std::ostringstream os;
+    os << "-- fabric --\n"
+       << "  packets=" << stats_.packets_sent << " bytes=" << stats_.bytes_sent
+       << " credit_stalls=" << stats_.credit_stalls
+       << " drops_injected=" << stats_.drops_injected
+       << " retransmits=" << stats_.retransmits
+       << " dup_delivered=" << stats_.dup_delivered
+       << " corrupt_detected=" << stats_.corrupt_detected
+       << " links_failed=" << stats_.links_failed << "\n";
+    for (Rank r = 0; r < nranks_; ++r) {
+        if (credits_[asz(r)] == cfg_.tx_credits && stalled_[asz(r)].empty()) {
+            continue;
+        }
+        os << "  rank" << r << ": credits=" << credits_[asz(r)] << "/"
+           << cfg_.tx_credits << " stalled=" << stalled_[asz(r)].size() << "\n";
+    }
+    std::vector<std::uint64_t> keys;
+    keys.reserve(links_.size());
+    for (const auto& [k, l] : links_) {
+        if (l.failed || !l.unacked.empty() || !l.rx_ooo.empty()) keys.push_back(k);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint64_t k : keys) {
+        const LinkState& l = links_.at(k);
+        os << "  link " << k / static_cast<std::uint64_t>(nranks_) << "->"
+           << k % static_cast<std::uint64_t>(nranks_)
+           << (l.failed ? " FAILED" : "") << " unacked=" << l.unacked.size()
+           << " rx_ooo=" << l.rx_ooo.size() << " acked=" << l.acked
+           << " rx_next=" << l.rx_next << "\n";
+    }
+    return os.str();
 }
 
 }  // namespace nbe::net

@@ -1,45 +1,73 @@
 // Simulated cluster fabric: internode links with NIC TX serialization and
-// flow-control credits, intranode shared-memory channels, and a per-rank
-// memory-registration cache.
+// flow-control credits, intranode shared-memory channels, a per-rank
+// memory-registration cache, and an optional link-level reliable-delivery
+// sublayer with deterministic fault injection.
 //
 // Timing model per packet:
 //   tx_start = max(now + sw_overhead + extra_delay, tx_free[src])
 //   tx_free[src] = tx_start + wire_bytes / bandwidth
-//   delivered_at = tx_free[src] + latency
+//   delivered_at = tx_free[src] + latency (+ injected jitter)
 //   acked_at     = delivered_at + latency     (initiator-side completion)
 //
 // Internode packets additionally consume a source-NIC credit that returns
 // at acked_at; when credits are exhausted the packet queues at the source
 // and posting stalls — this is the flow-control behaviour the paper blames
 // for the 512-process flattening in Figure 12.
+//
+// Reliability sublayer (cfg.reliability.enabled): every packet carries a
+// per-(src,dst) sequence number; the receiver delivers in order (buffering
+// out-of-order arrivals), discards duplicates and corrupted packets, and
+// returns cumulative ACKs. The sender retransmits on timeout with
+// exponential backoff; exhausting the retry budget declares the directed
+// link failed: every pending packet completes with on_error
+// (NBE_ERR_TIMEOUT for the packet that hit the budget, NBE_ERR_LINK_DOWN
+// for collateral), future sends fail immediately, and the registered
+// link-down handler fires so upper layers can abort epochs targeting the
+// dead peer. With faults disabled the sublayer reproduces the lossless
+// timing model exactly.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
+#include <map>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/config.hpp"
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
+#include "sim/rng.hpp"
 
 namespace nbe::net {
 
 class Fabric {
 public:
     using Handler = std::function<void(Packet&&)>;
+    using LinkDownHandler = std::function<void(Rank src, Rank dst)>;
 
     Fabric(sim::Engine& engine, int nranks, FabricConfig cfg);
+    ~Fabric();
+
+    Fabric(const Fabric&) = delete;
+    Fabric& operator=(const Fabric&) = delete;
 
     /// Registers the delivery handler for a rank. Must be set before any
     /// packet addressed to that rank is delivered.
     void set_handler(Rank r, Handler h);
 
+    /// Registers the handler invoked (once per directed link, from the
+    /// event loop) when a link is declared failed.
+    void set_link_down_handler(LinkDownHandler h) {
+        link_down_handler_ = std::move(h);
+    }
+
     /// Sends a packet. `extra_src_delay` is charged at the source before
-    /// transmission (e.g., registration-pin cost).
+    /// transmission (e.g., registration-pin cost). Self-sends (src == dst)
+    /// are explicitly supported loopback over the intranode channel.
     void send(Packet&& p, sim::Duration extra_src_delay = 0);
 
     [[nodiscard]] int nranks() const noexcept { return nranks_; }
@@ -59,35 +87,101 @@ public:
     /// Available internode TX credits for a rank.
     [[nodiscard]] int credits(Rank r) const { return credits_.at(asz(r)); }
 
+    /// True once the directed link src->dst has been declared failed.
+    [[nodiscard]] bool link_failed(Rank src, Rank dst) const;
+
+    /// Declares the directed link failed immediately (test hook; production
+    /// failures come from retry-budget exhaustion).
+    void fail_link_now(Rank src, Rank dst);
+
     struct Stats {
         std::uint64_t packets_sent = 0;
         std::uint64_t bytes_sent = 0;
         std::uint64_t credit_stalls = 0;  ///< packets that had to queue
         std::uint64_t pin_hits = 0;
         std::uint64_t pin_misses = 0;
+        // Reliability / fault-injection counters.
+        std::uint64_t drops_injected = 0;    ///< lost transmissions (incl. ACKs, outages)
+        std::uint64_t retransmits = 0;       ///< timeout-driven resends
+        std::uint64_t dup_delivered = 0;     ///< duplicate arrivals discarded at rx
+        std::uint64_t corrupt_detected = 0;  ///< checksum failures discarded at rx
+        std::uint64_t links_failed = 0;      ///< directed links declared dead
     };
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+    /// Multi-line dump of credits, stalled queues and per-link reliability
+    /// state; registered as an engine deadlock diagnostic.
+    [[nodiscard]] std::string diagnostic_dump() const;
+
 private:
     static std::size_t asz(Rank r) { return static_cast<std::size_t>(r); }
+    [[nodiscard]] std::uint64_t link_key(Rank src, Rank dst) const noexcept {
+        return static_cast<std::uint64_t>(src) *
+                   static_cast<std::uint64_t>(nranks_) +
+               static_cast<std::uint64_t>(dst);
+    }
 
+    /// One packet awaiting cumulative acknowledgement (reliable mode).
+    struct InFlight {
+        Packet pkt;          ///< authoritative copy; wire sends use clones
+        sim::Duration extra_delay = 0;  ///< charged on the first attempt only
+        int retries = 0;
+        std::uint64_t timer_gen = 0;  ///< invalidates stale timeout events
+        bool internode = false;
+        bool credit_held = false;
+    };
+
+    /// Directed (src,dst) link state; created on first use.
+    struct LinkState {
+        // Sender side (lives at src).
+        std::uint64_t next_tx = 1;
+        std::uint64_t acked = 0;  ///< highest cumulative ack received
+        std::map<std::uint64_t, InFlight> unacked;
+        // Receiver side (lives at dst).
+        std::uint64_t rx_next = 1;  ///< next in-order sequence expected
+        std::map<std::uint64_t, Packet> rx_ooo;
+        bool failed = false;
+    };
+
+    struct Stalled {
+        Packet packet;                ///< unreliable mode only
+        std::uint64_t link_key = 0;   ///< reliable mode: (src,dst) key
+        std::uint64_t seq = 0;        ///< reliable mode: sequence number
+        sim::Duration extra_delay = 0;
+        bool reliable = false;
+    };
+
+    // Lossless path (seed behaviour, bit-for-bit).
     void transmit(Packet&& p, sim::Duration extra_src_delay);
     void deliver(Packet&& p, sim::Time acked_at);
+
+    // Reliable path.
+    void transmit_rel(LinkState& l, std::uint64_t key, std::uint64_t seq);
+    void deliver_rel(std::uint64_t key, std::uint64_t seq, bool corrupted,
+                     Packet&& wire);
+    void deliver_to_handler(Packet&& p);
+    void send_ack(std::uint64_t key, const LinkState& l);
+    void on_ack(std::uint64_t key, std::uint64_t upto);
+    void on_timeout(std::uint64_t key, std::uint64_t seq, std::uint64_t gen);
+    void fail_link(std::uint64_t key, LinkState& l, std::uint64_t trigger_seq);
+    void fail_packet(Packet&& p, Status s);
+
     void return_credit(Rank src);
     [[nodiscard]] std::size_t wire_bytes(const Packet& p) const noexcept;
+    [[nodiscard]] sim::Duration draw_jitter();
 
     sim::Engine& engine_;
     int nranks_;
     FabricConfig cfg_;
+    bool reliable_;
+    sim::Xoshiro256 fault_rng_;
     std::vector<Handler> handlers_;
+    LinkDownHandler link_down_handler_;
     std::vector<sim::Time> nic_tx_free_;  // internode TX availability
     std::vector<sim::Time> shm_tx_free_;  // intranode copy availability
     std::vector<int> credits_;
-    struct Stalled {
-        Packet packet;
-        sim::Duration extra_delay;
-    };
     std::vector<std::deque<Stalled>> stalled_;
+    std::unordered_map<std::uint64_t, LinkState> links_;
 
     struct RegCache {
         std::list<std::uint64_t> lru;  // front = most recent
@@ -96,6 +190,7 @@ private:
     std::vector<RegCache> reg_;
 
     Stats stats_;
+    std::uint64_t diag_id_ = 0;
 };
 
 }  // namespace nbe::net

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "net/status.hpp"
 #include "sim/time.hpp"
 
 namespace nbe::net {
@@ -30,6 +31,16 @@ struct Packet {
     /// the (simulated) hardware ack has returned — the moment an RDMA
     /// initiator would see a work completion for this transfer.
     std::function<void(sim::Time acked_at)> on_acked;
+
+    /// Invoked on the source side if the fabric gives up on delivery (link
+    /// declared failed, or a send posted on an already-failed link). Exactly
+    /// one of on_acked / on_error fires per packet when the reliability
+    /// sublayer is enabled.
+    std::function<void(Status)> on_error;
+
+    /// Reliable-delivery sequence number; assigned by the fabric, opaque to
+    /// upper layers.
+    std::uint64_t rel_seq = 0;
 };
 
 }  // namespace nbe::net

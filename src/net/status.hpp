@@ -1,0 +1,36 @@
+// MPI-style error codes threaded through the whole stack.
+//
+// The fabric's reliability layer, the two-sided runtime and the RMA progress
+// engine all report failure by completing the affected Request with one of
+// these codes instead of throwing from inside the event loop. NBE_SUCCESS is
+// zero so `if (status)` reads as "if failed", mirroring MPI_SUCCESS.
+#pragma once
+
+namespace nbe {
+
+enum Status : int {
+    NBE_SUCCESS = 0,
+    NBE_ERR_TIMEOUT,    ///< retransmission budget exhausted on a live link
+    NBE_ERR_LINK_DOWN,  ///< the (src,dst) link was declared failed
+    NBE_ERR_PROTOCOL,   ///< malformed / unroutable packet at the receiver
+    NBE_ERR_TRUNCATED,  ///< payload did not fit the posted buffer
+    NBE_ERR_RANGE,      ///< rank or displacement out of range
+    NBE_ERR_CANCELLED,  ///< request abandoned at teardown
+    NBE_ERR_INTERNAL,
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) noexcept {
+    switch (s) {
+        case NBE_SUCCESS: return "NBE_SUCCESS";
+        case NBE_ERR_TIMEOUT: return "NBE_ERR_TIMEOUT";
+        case NBE_ERR_LINK_DOWN: return "NBE_ERR_LINK_DOWN";
+        case NBE_ERR_PROTOCOL: return "NBE_ERR_PROTOCOL";
+        case NBE_ERR_TRUNCATED: return "NBE_ERR_TRUNCATED";
+        case NBE_ERR_RANGE: return "NBE_ERR_RANGE";
+        case NBE_ERR_CANCELLED: return "NBE_ERR_CANCELLED";
+        case NBE_ERR_INTERNAL: return "NBE_ERR_INTERNAL";
+    }
+    return "NBE_ERR_?";
+}
+
+}  // namespace nbe

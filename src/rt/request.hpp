@@ -4,32 +4,54 @@
 // A Request is a cheap copyable handle onto shared completion state. The
 // paper's nonblocking synchronizations return these; completion is detected
 // with the wait/test family exactly as for MPI_Isend (Section IV).
+//
+// Completion carries an nbe::Status. Healthy operations complete with
+// NBE_SUCCESS; a failed link, exhausted retransmission budget or protocol
+// slip completes the request with the matching NBE_ERR_* code instead of
+// the runtime throwing from inside the event loop — mirroring how MPI
+// reports operation errors through the request, not by aborting the job.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "net/status.hpp"
 #include "sim/engine.hpp"
 
 namespace nbe::rt {
 
+using nbe::Status;
+
 /// Shared completion state behind a Request handle.
 class RequestState {
 public:
-    /// Marks the request complete and wakes all waiters. Idempotent.
-    void complete(sim::Engine& engine) {
-        if (!complete_) {
-            complete_ = true;
-            cond_.notify_all(engine);
-        }
-    }
+    /// Marks the request complete with NBE_SUCCESS and wakes all waiters.
+    /// Idempotent; never downgrades an earlier error.
+    void complete(sim::Engine& engine) { finish(engine, NBE_SUCCESS); }
+
+    /// Marks the request complete with an error code and wakes all waiters.
+    /// The first status to land wins.
+    void fail(sim::Engine& engine, Status s) { finish(engine, s); }
 
     [[nodiscard]] bool is_complete() const noexcept { return complete_; }
+    [[nodiscard]] Status status() const noexcept { return status_; }
 
-    /// Parks the process until complete (progress is autonomous).
-    void wait(sim::Process& p) {
-        cond_.wait_until(p, [this] { return complete_; });
+    /// Labels what this request stands for ("icomplete(win 0, seq 3)");
+    /// surfaced by the deadlock diagnostics while a process waits on it.
+    void set_label(std::string label) { label_ = std::move(label); }
+    [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+    /// Parks the process until complete (progress is autonomous). Returns
+    /// the completion status.
+    Status wait(sim::Process& p) {
+        if (!complete_) {
+            p.set_blocked_on(label_.empty() ? "request wait" : label_);
+            cond_.wait_until(p, [this] { return complete_; });
+        }
+        return status_;
     }
 
     /// Creates a state that is already complete — the paper's "dummy request
@@ -41,8 +63,25 @@ public:
         return st;
     }
 
+    /// Creates a state that is already complete with an error.
+    static std::shared_ptr<RequestState> failed(Status s) {
+        auto st = completed();
+        st->status_ = s;
+        return st;
+    }
+
 private:
+    void finish(sim::Engine& engine, Status s) {
+        if (!complete_) {
+            complete_ = true;
+            status_ = s;
+            cond_.notify_all(engine);
+        }
+    }
+
     bool complete_ = false;
+    Status status_ = NBE_SUCCESS;
+    std::string label_;
     sim::Condition cond_;
 };
 
@@ -60,15 +99,29 @@ public:
         return st_->is_complete();
     }
 
-    /// Blocks (in virtual time) until the operation completes.
-    void wait(sim::Process& p) {
+    /// Completion status: NBE_SUCCESS while pending or after a healthy
+    /// completion, NBE_ERR_* after a failed one.
+    [[nodiscard]] Status status() const {
         check();
-        st_->wait(p);
+        return st_->status();
     }
 
-    /// Waits for every request in the span.
-    static void wait_all(sim::Process& p, std::span<Request> reqs) {
-        for (auto& r : reqs) r.wait(p);
+    /// Blocks (in virtual time) until the operation completes; returns its
+    /// completion status.
+    Status wait(sim::Process& p) {
+        check();
+        return st_->wait(p);
+    }
+
+    /// Waits for every request in the span; returns the first error seen
+    /// (NBE_SUCCESS if all completed cleanly).
+    static Status wait_all(sim::Process& p, std::span<Request> reqs) {
+        Status out = NBE_SUCCESS;
+        for (auto& r : reqs) {
+            const Status s = r.wait(p);
+            if (out == NBE_SUCCESS) out = s;
+        }
+        return out;
     }
 
     [[nodiscard]] const std::shared_ptr<RequestState>& state() const {

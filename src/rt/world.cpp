@@ -15,6 +15,8 @@ World::World(JobConfig cfg)
             handle_packet(r, std::move(p));
         });
     }
+    fabric_.set_link_down_handler(
+        [this](Rank src, Rank dst) { on_link_down(src, dst); });
 }
 
 void World::run(std::function<void(Process&)> rank_main) {
@@ -35,26 +37,59 @@ void World::set_rma_handler(Rank r, net::Fabric::Handler h) {
 // ------------------------------------------------------------- dispatch
 
 void World::handle_packet(Rank r, net::Packet&& p) {
+    RankCtx& c = ctx(r);
     if (p.kind >= kRmaKindBase) {
-        auto& h = ctx(r).rma_handler;
+        auto& h = c.rma_handler;
         if (!h) {
-            throw std::logic_error("RMA packet delivered to rank " +
-                                   std::to_string(r) +
-                                   " with no RMA handler installed");
+            // Arrived before/after the RMA engine's lifetime: unroutable.
+            ++c.stats.protocol_errors;
+            return;
         }
         h(std::move(p));
         return;
     }
-    RankCtx& c = ctx(r);
     switch (p.kind) {
         case kEager: on_eager(c, std::move(p)); break;
         case kRts: on_rts(c, std::move(p)); break;
         case kCts: on_cts(c, std::move(p)); break;
         case kRndvData: on_rndv_data(c, std::move(p)); break;
-        default:
-            throw std::logic_error("unknown two-sided packet kind " +
-                                   std::to_string(p.kind));
+        default: ++c.stats.protocol_errors; break;
     }
+}
+
+void World::on_link_down(Rank src, Rank dst) {
+    // Sender side: rendezvous sends bound for the dead link will never see
+    // their CTS answered with data.
+    RankCtx& s = ctx(src);
+    for (auto it = s.rndv_send.begin(); it != s.rndv_send.end();) {
+        if (it->second.dst == dst) {
+            it->second.req->fail(engine_, NBE_ERR_LINK_DOWN);
+            it = s.rndv_send.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Receiver side: receives bound to (or only satisfiable by) the dead
+    // sender will never complete. Wildcard receives stay posted — another
+    // sender can still match them.
+    RankCtx& d = ctx(dst);
+    for (auto it = d.posted.begin(); it != d.posted.end();) {
+        if ((*it)->src_filter == src) {
+            (*it)->req->fail(engine_, NBE_ERR_LINK_DOWN);
+            it = d.posted.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto it = d.rndv_recv.begin(); it != d.rndv_recv.end();) {
+        if (it->second->rndv_src == src) {
+            it->second->req->fail(engine_, NBE_ERR_LINK_DOWN);
+            it = d.rndv_recv.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto& fn : link_down_subs_) fn(src, dst);
 }
 
 bool World::matches(const RecvOp& op, Rank src, int tag) noexcept {
@@ -92,6 +127,9 @@ Request World::isend(Rank src, const void* buf, std::size_t n, Rank dst,
     std::memcpy(op.data.data(), buf, n);
     op.dst = dst;
     op.req = std::make_shared<RequestState>();
+    op.req->set_label("send(dst=" + std::to_string(dst) +
+                      ", tag=" + std::to_string(tag) +
+                      ", n=" + std::to_string(n) + ")");
     Request out(op.req);
     c.rndv_send.emplace(id, std::move(op));
 
@@ -117,11 +155,15 @@ Request World::irecv(Rank dst, void* buf, std::size_t cap, Rank src, int tag,
     op->got = got;
     op->id = c.next_id++;
     op->req = std::make_shared<RequestState>();
+    op->req->set_label(
+        "recv(src=" + (src == kAnySource ? "any" : std::to_string(src)) +
+        ", tag=" + (tag == kAnyTag ? "any" : std::to_string(tag)) + ")");
 
     // Try the unexpected queue first (oldest match wins).
     for (auto it = c.unexpected.begin(); it != c.unexpected.end(); ++it) {
         if (!matches(*op, it->src, it->tag)) continue;
         if (it->rndv) {
+            op->rndv_src = it->src;
             c.rndv_recv.emplace(op->id, op);
             send_cts(c, it->src, it->send_id, op->id);
         } else {
@@ -174,6 +216,7 @@ void World::on_rts(RankCtx& c, net::Packet&& p) {
         if (matches(**it, p.src, tag)) {
             auto op = *it;
             c.posted.erase(it);
+            op->rndv_src = p.src;
             c.rndv_recv.emplace(op->id, op);
             send_cts(c, p.src, send_id, op->id);
             return;
@@ -192,7 +235,9 @@ void World::on_cts(RankCtx& c, net::Packet&& p) {
     const std::uint64_t send_id = p.header[1];
     auto it = c.rndv_send.find(send_id);
     if (it == c.rndv_send.end()) {
-        throw std::logic_error("CTS for unknown rendezvous send");
+        // Send already failed (link down) or duplicate CTS: drop.
+        ++c.stats.protocol_errors;
+        return;
     }
     SendOp op = std::move(it->second);
     c.rndv_send.erase(it);
@@ -207,6 +252,7 @@ void World::on_cts(RankCtx& c, net::Packet&& p) {
     data.payload = std::move(op.data);
     auto req = op.req;
     data.on_acked = [this, req](sim::Time) { req->complete(engine_); };
+    data.on_error = [this, req](Status s) { req->fail(engine_, s); };
     fabric_.send(std::move(data), pin_delay);
 }
 
@@ -214,7 +260,9 @@ void World::on_rndv_data(RankCtx& c, net::Packet&& p) {
     const std::uint64_t recv_id = p.header[3];
     auto it = c.rndv_recv.find(recv_id);
     if (it == c.rndv_recv.end()) {
-        throw std::logic_error("rendezvous data for unknown receive");
+        // Receive already failed (link down) or duplicate data: drop.
+        ++c.stats.protocol_errors;
+        return;
     }
     auto op = it->second;
     c.rndv_recv.erase(it);

@@ -28,6 +28,9 @@ inline constexpr int kAnyTag = -1;
 struct RankStats {
     sim::Duration time_in_mpi = 0;
     std::uint64_t mpi_calls = 0;
+    /// Malformed or unroutable packets dropped instead of aborting the job
+    /// (unknown kind, rendezvous state mismatch, missing RMA handler).
+    std::uint64_t protocol_errors = 0;
 };
 
 class Process;
@@ -57,6 +60,13 @@ public:
     static constexpr std::uint32_t kRmaKindBase = 100;
     void set_rma_handler(Rank r, net::Fabric::Handler h);
 
+    /// Registers a callback invoked (from the event loop) after the world
+    /// has reacted to a directed link failure; the RMA engine subscribes to
+    /// abort epochs that involve the dead link.
+    void subscribe_link_down(std::function<void(Rank src, Rank dst)> fn) {
+        link_down_subs_.push_back(std::move(fn));
+    }
+
     [[nodiscard]] RankStats& stats(Rank r) { return ctx(r).stats; }
     [[nodiscard]] sim::Xoshiro256& rng(Rank r) { return ctx(r).rng; }
 
@@ -82,6 +92,7 @@ private:
         std::size_t cap = 0;
         std::size_t* got = nullptr;
         std::uint64_t id = 0;
+        Rank rndv_src = -1;  ///< sender this recv matched to (rendezvous)
         std::shared_ptr<RequestState> req;
     };
 
@@ -119,6 +130,7 @@ private:
     RankCtx& ctx(Rank r) { return *ctxs_.at(static_cast<std::size_t>(r)); }
 
     void handle_packet(Rank r, net::Packet&& p);
+    void on_link_down(Rank src, Rank dst);
     void on_eager(RankCtx& c, net::Packet&& p);
     void on_rts(RankCtx& c, net::Packet&& p);
     void on_cts(RankCtx& c, net::Packet&& p);
@@ -133,6 +145,7 @@ private:
     sim::Engine engine_;
     net::Fabric fabric_;
     std::vector<std::unique_ptr<RankCtx>> ctxs_;
+    std::vector<std::function<void(Rank, Rank)>> link_down_subs_;
 };
 
 /// Application-facing handle for one simulated MPI rank.

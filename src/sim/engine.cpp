@@ -149,16 +149,25 @@ void Engine::run() {
     }
     std::size_t parked = 0;
     std::ostringstream names;
+    std::ostringstream where;
     for (const auto& p : processes_) {
         if (!p->finished() && p->parked_) {
             if (parked++ < 8) names << (parked > 1 ? ", " : "") << p->name();
+            where << "  " << p->name() << ": blocked on "
+                  << (p->blocked_on_.empty() ? "<unknown>" : p->blocked_on_)
+                  << "\n";
         }
     }
     if (parked > 0) {
         std::ostringstream msg;
         msg << "simulation deadlock: " << parked
             << " process(es) parked with no pending events [" << names.str()
-            << "]";
+            << "]\nparked processes:\n"
+            << where.str();
+        for (const auto& [id, fn] : diagnostics_) {
+            const std::string dump = fn();
+            if (!dump.empty()) msg << dump << "\n";
+        }
         throw DeadlockError(msg.str());
     }
 }
@@ -175,6 +184,20 @@ void Engine::note_failure(std::string what) {
     if (!have_failure_) {
         have_failure_ = true;
         first_failure_ = std::move(what);
+    }
+}
+
+std::uint64_t Engine::add_diagnostic(Diagnostic fn) {
+    diagnostics_.emplace_back(next_diag_id_, std::move(fn));
+    return next_diag_id_++;
+}
+
+void Engine::remove_diagnostic(std::uint64_t id) {
+    for (auto it = diagnostics_.begin(); it != diagnostics_.end(); ++it) {
+        if (it->first == id) {
+            diagnostics_.erase(it);
+            return;
+        }
     }
 }
 

@@ -37,7 +37,11 @@ class Process;
 struct ProcessKilled {};
 
 /// Error thrown when the event queue drains while processes are still
-/// parked — the simulated job deadlocked.
+/// parked — the simulated job deadlocked. what() carries a full diagnostics
+/// dump: every parked process with its blocked-on location, followed by the
+/// output of each diagnostic callback registered on the engine (the RMA
+/// engine dumps open epoch state, the fabric dumps credit and retransmit
+/// counters).
 class DeadlockError : public std::runtime_error {
 public:
     explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
@@ -68,6 +72,14 @@ public:
     [[nodiscard]] bool failed() const noexcept { return failed_; }
     [[nodiscard]] const std::string& failure() const noexcept { return failure_; }
 
+    /// Human-readable description of what the process is parked on (set by
+    /// the blocking primitive, e.g. "icomplete(win 0, seq 3)"). Read by the
+    /// deadlock diagnostics dump.
+    void set_blocked_on(std::string what) { blocked_on_ = std::move(what); }
+    [[nodiscard]] const std::string& blocked_on() const noexcept {
+        return blocked_on_;
+    }
+
     Engine& engine() noexcept { return engine_; }
 
 private:
@@ -96,6 +108,7 @@ private:
     bool failed_ = false;
     bool parked_ = false;  // parked and not scheduled for resumption
     std::string failure_;
+    std::string blocked_on_;
 };
 
 /// The event queue + virtual clock. Construct, spawn processes, run().
@@ -143,6 +156,14 @@ public:
     /// Internal: records the first process failure; run() rethrows it.
     void note_failure(std::string what);
 
+    /// Registers a callback whose output is appended to the DeadlockError
+    /// dump when the queue drains with parked processes. Returns a handle
+    /// for remove_diagnostic; owners whose state the callback references
+    /// must deregister before that state dies.
+    using Diagnostic = std::function<std::string()>;
+    std::uint64_t add_diagnostic(Diagnostic fn);
+    void remove_diagnostic(std::uint64_t id);
+
 private:
     friend class Process;
 
@@ -166,6 +187,8 @@ private:
     bool running_ = false;
     bool have_failure_ = false;
     std::string first_failure_;
+    std::uint64_t next_diag_id_ = 1;
+    std::vector<std::pair<std::uint64_t, Diagnostic>> diagnostics_;
 };
 
 /// A virtual-time condition variable. Processes park on it; notify_all

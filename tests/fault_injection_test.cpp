@@ -1,0 +1,340 @@
+// Fault-injection integration tests: deterministic replay under a faulty
+// fabric, the Figure 2-6 epoch patterns surviving packet loss through the
+// reliable-delivery sublayer, scripted link outages propagating NBE_ERR_*
+// through requests, and the deadlock diagnostics dump.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.hpp"
+#include "core/window.hpp"
+
+using namespace nbe;
+
+namespace {
+
+/// Full fault soup on every link, severe enough to exercise every protocol
+/// path (drops, dups, corruption, jitter) but recoverable by the default
+/// retry budget.
+JobConfig faulty_config(int ranks, std::uint64_t seed) {
+    JobConfig cfg;
+    cfg.ranks = ranks;
+    cfg.mode = Mode::NewNonblocking;
+    cfg.fabric.ranks_per_node = 1;
+    cfg.fabric.reliability.enabled = true;
+    cfg.fabric.fault.enabled = true;
+    cfg.fabric.fault.drop_prob = 0.03;
+    cfg.fabric.fault.dup_prob = 0.02;
+    cfg.fabric.fault.corrupt_prob = 0.02;
+    cfg.fabric.fault.jitter_max = sim::microseconds(3);
+    cfg.fabric.fault.seed = seed;
+    return cfg;
+}
+
+net::FaultConfig drop_faults(double prob, std::uint64_t seed = 0xd201) {
+    net::FaultConfig f;
+    f.enabled = true;
+    f.drop_prob = prob;
+    f.seed = seed;
+    return f;
+}
+
+struct RingResult {
+    std::vector<std::vector<std::byte>> windows;  // final contents per rank
+    std::vector<std::vector<std::byte>> received; // two-sided payloads
+    net::Fabric::Stats stats;
+    sim::Time end_time = 0;
+
+    bool operator==(const RingResult& o) const {
+        return windows == o.windows && received == o.received &&
+               end_time == o.end_time &&
+               stats.packets_sent == o.stats.packets_sent &&
+               stats.bytes_sent == o.stats.bytes_sent &&
+               stats.drops_injected == o.stats.drops_injected &&
+               stats.retransmits == o.stats.retransmits &&
+               stats.dup_delivered == o.stats.dup_delivered &&
+               stats.corrupt_detected == o.stats.corrupt_detected;
+    }
+};
+
+/// Ring workload mixing one-sided puts (fence-synchronized) with a
+/// rendezvous-sized two-sided exchange; returns everything a determinism
+/// comparison needs.
+RingResult run_ring(const JobConfig& cfg) {
+    constexpr std::size_t kWin = 1024;
+    constexpr std::size_t kMsg = 64 * 1024;
+    RingResult out;
+    out.windows.assign(static_cast<std::size_t>(cfg.ranks), {});
+    out.received.assign(static_cast<std::size_t>(cfg.ranks), {});
+    Job job(cfg);
+    job.run([&](Proc& p) {
+        const int n = p.size();
+        const Rank next = (p.rank() + 1) % n;
+        const Rank prev = (p.rank() + n - 1) % n;
+        Window win = p.create_window(kWin);
+        win.fence();
+        std::vector<std::byte> src(kWin, std::byte(0x40 + p.rank()));
+        win.put(src.data(), src.size(), next, 0);
+        win.fence();
+
+        std::vector<std::byte> msg(kMsg, std::byte(0x10 + p.rank()));
+        std::vector<std::byte> got(kMsg);
+        Request rr = p.irecv(got.data(), got.size(), prev, 9);
+        Request rs = p.isend(msg.data(), msg.size(), next, 9);
+        rr.wait(p.sim_process());
+        rs.wait(p.sim_process());
+
+        out.windows[static_cast<std::size_t>(p.rank())]
+            .assign(win.base(), win.base() + kWin);
+        out.received[static_cast<std::size_t>(p.rank())] = std::move(got);
+    });
+    out.stats = job.world().fabric().stats();
+    out.end_time = job.world().engine().now();
+    return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- determinism
+
+TEST(FaultDeterminism, SameSeedReplaysBitIdentically) {
+    const JobConfig cfg = faulty_config(4, 0xabcd);
+    const RingResult a = run_ring(cfg);
+    const RingResult b = run_ring(cfg);
+    EXPECT_TRUE(a == b);
+
+    // The fault model actually fired, and the protocol recovered.
+    EXPECT_GT(a.stats.drops_injected, 0u);
+    EXPECT_GT(a.stats.retransmits, 0u);
+    EXPECT_EQ(a.stats.links_failed, 0u);
+}
+
+TEST(FaultDeterminism, ApplicationDataSurvivesFaultsByteIdentical) {
+    const RingResult r = run_ring(faulty_config(4, 0x5eed));
+    for (int rank = 0; rank < 4; ++rank) {
+        const Rank prev = (rank + 3) % 4;
+        for (std::byte b : r.windows[static_cast<std::size_t>(rank)]) {
+            ASSERT_EQ(b, std::byte(0x40 + prev));
+        }
+        for (std::byte b : r.received[static_cast<std::size_t>(rank)]) {
+            ASSERT_EQ(b, std::byte(0x10 + prev));
+        }
+    }
+}
+
+// ------------------------------------- Figure 2-6 patterns under packet loss
+
+TEST(FaultPatterns, LatePostCompletesUnderDrop) {
+    for (const double prob : {0.01, 0.05}) {
+        const auto f = drop_faults(prob);
+        const auto r = apps::late_post(Mode::NewNonblocking, 1 << 20,
+                                       apps::kDelay, &f);
+        EXPECT_GT(r.access_epoch_us, 0.0);
+        EXPECT_GT(r.two_sided_us, 0.0);
+        const auto again = apps::late_post(Mode::NewNonblocking, 1 << 20,
+                                           apps::kDelay, &f);
+        EXPECT_EQ(r.cumulative_us, again.cumulative_us);
+    }
+}
+
+TEST(FaultPatterns, LateCompleteCompletesUnderDrop) {
+    const auto f = drop_faults(0.03);
+    const auto r =
+        apps::late_complete(Mode::NewNonblocking, 1 << 20, apps::kDelay, &f);
+    EXPECT_GT(r.target_epoch_us, 0.0);
+    EXPECT_GT(r.origin_epoch_us, 0.0);
+}
+
+TEST(FaultPatterns, EarlyFenceCompletesUnderDrop) {
+    const auto f = drop_faults(0.03);
+    EXPECT_GT(apps::early_fence_cumulative_us(Mode::NewNonblocking, 1 << 20,
+                                              apps::kDelay, &f),
+              0.0);
+}
+
+TEST(FaultPatterns, WaitAtFenceCompletesUnderDrop) {
+    const auto f = drop_faults(0.03);
+    EXPECT_GT(apps::wait_at_fence_target_us(Mode::NewNonblocking, 1 << 20,
+                                            apps::kDelay, &f),
+              0.0);
+}
+
+TEST(FaultPatterns, LateUnlockCompletesUnderDrop) {
+    const auto f = drop_faults(0.03);
+    const auto r =
+        apps::late_unlock(Mode::NewNonblocking, 1 << 20, apps::kDelay, &f);
+    EXPECT_GT(r.first_lock_us, 0.0);
+    EXPECT_GT(r.second_lock_us, 0.0);
+}
+
+TEST(FaultPatterns, BlockingModeAlsoSurvivesDrop) {
+    const auto f = drop_faults(0.02);
+    const auto r =
+        apps::late_post(Mode::NewBlocking, 1 << 20, apps::kDelay, &f);
+    EXPECT_GT(r.cumulative_us, 0.0);
+}
+
+// ------------------------------------------------------------ link failures
+
+TEST(LinkDown, ScriptedOutageFailsAffectedRequestsOnly) {
+    JobConfig cfg;
+    cfg.ranks = 3;
+    cfg.mode = Mode::NewNonblocking;
+    cfg.fabric.ranks_per_node = 1;
+    cfg.fabric.reliability.enabled = true;
+    cfg.fabric.fault.enabled = true;
+    // Kill 0->1 after setup and keep it dead past retry exhaustion.
+    cfg.fabric.fault.down.push_back(
+        {0, 1, sim::milliseconds(5), sim::seconds(100)});
+
+    Status send_status = NBE_SUCCESS;
+    Status recv_status = NBE_SUCCESS;
+    Status side_status = NBE_ERR_INTERNAL;
+    run(cfg, [&](Proc& p) {
+        std::vector<std::byte> buf(64 * 1024, std::byte{7});
+        p.barrier();                       // completes well before the outage
+        p.compute(sim::milliseconds(10));  // move into the outage window
+        if (p.rank() == 0) {
+            Request r = p.isend(buf.data(), buf.size(), 1, 7);
+            r.wait(p.sim_process());
+            send_status = r.status();
+            p.send(buf.data(), buf.size(), 2, 8);  // healthy link still works
+        } else if (p.rank() == 1) {
+            Request r = p.irecv(buf.data(), buf.size(), 0, 7);
+            r.wait(p.sim_process());
+            recv_status = r.status();
+        } else {
+            Request r = p.irecv(buf.data(), buf.size(), 0, 8);
+            r.wait(p.sim_process());
+            side_status = r.status();
+        }
+    });
+    EXPECT_EQ(send_status, NBE_ERR_LINK_DOWN);
+    EXPECT_EQ(recv_status, NBE_ERR_LINK_DOWN);
+    EXPECT_EQ(side_status, NBE_SUCCESS);
+}
+
+TEST(LinkDown, EpochTowardDeadPeerFailsInsteadOfDeadlocking) {
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.mode = Mode::NewNonblocking;
+    cfg.fabric.ranks_per_node = 1;
+    cfg.fabric.reliability.enabled = true;
+
+    Status close_status = NBE_SUCCESS;
+    Job job(cfg);
+    job.run([&](Proc& p) {
+        Window win = p.create_window(4096);
+        p.barrier();
+        if (p.rank() == 0) {
+            job.world().fabric().fail_link_now(0, 1);
+            const Rank g[] = {1};
+            Request open = win.istart(g);
+            std::byte b{1};
+            win.put(&b, 1, 1, 0);
+            Request close = win.icomplete();
+            p.wait(close);
+            close_status = close.status();
+        }
+    });
+    EXPECT_EQ(close_status, NBE_ERR_LINK_DOWN);
+    EXPECT_EQ(job.rma().stats(0).epochs_aborted, 1u);
+}
+
+TEST(LinkDown, RetryExhaustionAbortsBothSidesOfAnEpoch) {
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.mode = Mode::NewNonblocking;
+    cfg.fabric.ranks_per_node = 1;
+    cfg.fabric.reliability.enabled = true;
+    cfg.fabric.fault.enabled = true;
+    cfg.fabric.fault.down.push_back(
+        {0, 1, sim::milliseconds(5), sim::seconds(100)});
+
+    Status origin_status = NBE_SUCCESS;
+    Status target_status = NBE_SUCCESS;
+    Job job(cfg);
+    job.run([&](Proc& p) {
+        Window win = p.create_window(4096);
+        p.barrier();
+        p.compute(sim::milliseconds(10));
+        if (p.rank() == 0) {
+            const Rank g[] = {1};
+            win.start(g);
+            std::byte b{1};
+            win.put(&b, 1, 1, 0);  // dropped until the link is declared dead
+            Request close = win.icomplete();
+            p.wait(close);
+            origin_status = close.status();
+        } else {
+            const Rank g[] = {0};
+            win.post(g);
+            Request done = win.iwait_exposure();
+            p.wait(done);
+            target_status = done.status();
+        }
+    });
+    EXPECT_EQ(origin_status, NBE_ERR_LINK_DOWN);
+    EXPECT_EQ(target_status, NBE_ERR_LINK_DOWN);
+    EXPECT_GE(job.world().fabric().stats().links_failed, 1u);
+    EXPECT_GT(job.world().fabric().stats().retransmits, 0u);
+}
+
+// ------------------------------------------------------ deadlock diagnostics
+
+TEST(DeadlockDiagnostics, DumpNamesParkedRanksAndOpenEpochs) {
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.mode = Mode::NewNonblocking;
+    cfg.fabric.ranks_per_node = 1;
+
+    std::string msg;
+    try {
+        run(cfg, [&](Proc& p) {
+            Window win = p.create_window(1024);
+            p.barrier();
+            if (p.rank() == 0) {
+                const Rank g[] = {1};
+                win.post(g);
+                win.wait_exposure();  // rank 1 never opens an access epoch
+            }
+        });
+        FAIL() << "expected DeadlockError";
+    } catch (const sim::DeadlockError& e) {
+        msg = e.what();
+    }
+    EXPECT_NE(msg.find("simulation deadlock"), std::string::npos) << msg;
+    // The parked process is named, with the request it is blocked on.
+    EXPECT_NE(msg.find("rank0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("blocked on"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("close exposure epoch"), std::string::npos) << msg;
+    // The RMA diagnostic lists the open epoch and its state.
+    EXPECT_NE(msg.find("rma open epochs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kind=exposure"), std::string::npos) << msg;
+    // The fabric diagnostic is appended as well.
+    EXPECT_NE(msg.find("-- fabric --"), std::string::npos) << msg;
+}
+
+TEST(DeadlockDiagnostics, TwoSidedWaitShowsRequestLabel) {
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.fabric.ranks_per_node = 1;
+
+    std::string msg;
+    try {
+        run(cfg, [&](Proc& p) {
+            p.barrier();
+            if (p.rank() == 0) {
+                std::byte b{};
+                p.recv(&b, 1, 1, 42);  // never sent
+            }
+        });
+        FAIL() << "expected DeadlockError";
+    } catch (const sim::DeadlockError& e) {
+        msg = e.what();
+    }
+    EXPECT_NE(msg.find("rank0: blocked on recv(src=1, tag=42)"),
+              std::string::npos)
+        << msg;
+}

@@ -249,3 +249,201 @@ TEST(Fabric, StatsCountPacketsAndBytes) {
     EXPECT_EQ(f.stats().bytes_sent,
               1000 + f.config().header_bytes + f.config().control_bytes);
 }
+
+TEST(Fabric, NegativeDestinationThrows) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    EXPECT_THROW(f.send(control(0, -1)), std::out_of_range);
+    EXPECT_THROW(f.send(control(-3, -1)), std::out_of_range);
+}
+
+TEST(Fabric, SelfSendIsLoopback) {
+    sim::Engine eng;
+    Fabric f(eng, 2, internode_cfg());
+    int got = 0;
+    sim::Time acked = -1;
+    f.set_handler(0, [&](Packet&& p) {
+        EXPECT_EQ(p.src, 0);
+        EXPECT_EQ(p.dst, 0);
+        ++got;
+    });
+    Packet p = control(0, 0);
+    p.on_acked = [&](sim::Time t) { acked = t; };
+    f.send(std::move(p));
+    eng.run();
+    EXPECT_EQ(got, 1);
+    EXPECT_GT(acked, 0);
+    // Loopback rides the intranode channel: no NIC credit consumed.
+    EXPECT_EQ(f.credits(0), f.config().tx_credits);
+}
+
+// -------------------------------------------------- reliable-delivery layer
+
+namespace {
+
+FabricConfig reliable_cfg() {
+    FabricConfig cfg = internode_cfg();
+    cfg.reliability.enabled = true;
+    return cfg;
+}
+
+}  // namespace
+
+TEST(FabricReliability, FaultFreeTimingMatchesLosslessPath) {
+    auto timings = [](bool reliable) {
+        sim::Engine eng;
+        FabricConfig cfg = internode_cfg();
+        cfg.reliability.enabled = reliable;
+        Fabric f(eng, 2, cfg);
+        sim::Time delivered = -1;
+        sim::Time acked = -1;
+        f.set_handler(1, [&](Packet&&) { delivered = eng.now(); });
+        Packet p = control(0, 1);
+        p.payload.resize(1 << 16);
+        p.on_acked = [&](sim::Time t) { acked = t; };
+        f.send(std::move(p));
+        eng.run();
+        return std::pair{delivered, acked};
+    };
+    EXPECT_EQ(timings(false), timings(true));
+}
+
+TEST(FabricReliability, DroppedPacketIsRetransmitted) {
+    sim::Engine eng;
+    FabricConfig cfg = reliable_cfg();
+    cfg.fault.enabled = true;
+    // The first transmission attempts fall inside the outage; a later
+    // retry lands after it lifts.
+    cfg.fault.down.push_back({0, 1, 0, sim::microseconds(100)});
+    Fabric f(eng, 2, cfg);
+    int got = 0;
+    bool acked = false;
+    f.set_handler(1, [&](Packet&&) { ++got; });
+    Packet p = control(0, 1);
+    p.on_acked = [&](sim::Time) { acked = true; };
+    f.send(std::move(p));
+    eng.run();
+    EXPECT_EQ(got, 1);
+    EXPECT_TRUE(acked);
+    EXPECT_GE(f.stats().drops_injected, 1u);
+    EXPECT_GE(f.stats().retransmits, 1u);
+    EXPECT_EQ(f.stats().links_failed, 0u);
+    EXPECT_FALSE(f.link_failed(0, 1));
+    EXPECT_EQ(f.credits(0), f.config().tx_credits);  // credit returned
+}
+
+TEST(FabricReliability, RetryBudgetExhaustionFailsTheLink) {
+    sim::Engine eng;
+    FabricConfig cfg = reliable_cfg();
+    cfg.fault.enabled = true;
+    cfg.fault.down.push_back({0, 1, 0, sim::seconds(100)});  // permanent
+    Fabric f(eng, 2, cfg);
+    f.set_handler(1, [](Packet&&) {});
+    Status first = NBE_SUCCESS;
+    Status second = NBE_SUCCESS;
+    Packet a = control(0, 1);
+    a.on_error = [&](Status s) { first = s; };
+    Packet b = control(0, 1);
+    b.on_error = [&](Status s) { second = s; };
+    f.send(std::move(a));
+    f.send(std::move(b));
+    eng.run();
+    // The packet that exhausted the budget reports the timeout; the one
+    // behind it is collateral of the link failure.
+    EXPECT_EQ(first, NBE_ERR_TIMEOUT);
+    EXPECT_EQ(second, NBE_ERR_LINK_DOWN);
+    EXPECT_TRUE(f.link_failed(0, 1));
+    EXPECT_FALSE(f.link_failed(1, 0));  // directed: reverse link unaffected
+    EXPECT_EQ(f.stats().links_failed, 1u);
+    EXPECT_EQ(f.credits(0), f.config().tx_credits);  // credits returned
+
+    // Sends on a dead link fail immediately.
+    Status after = NBE_SUCCESS;
+    Packet c = control(0, 1);
+    c.on_error = [&](Status s) { after = s; };
+    f.send(std::move(c));
+    eng.run();
+    EXPECT_EQ(after, NBE_ERR_LINK_DOWN);
+}
+
+TEST(FabricReliability, LinkDownHandlerFiresOnce) {
+    sim::Engine eng;
+    Fabric f(eng, 3, reliable_cfg());
+    f.set_handler(1, [](Packet&&) {});
+    std::vector<std::pair<Rank, Rank>> down;
+    f.set_link_down_handler(
+        [&](Rank s, Rank d) { down.emplace_back(s, d); });
+    f.fail_link_now(0, 1);
+    f.fail_link_now(0, 1);  // idempotent
+    eng.run();
+    ASSERT_EQ(down.size(), 1u);
+    EXPECT_EQ(down[0], (std::pair<Rank, Rank>{0, 1}));
+}
+
+TEST(FabricReliability, DuplicatesAreDiscardedAtTheReceiver) {
+    sim::Engine eng;
+    FabricConfig cfg = reliable_cfg();
+    cfg.fault.enabled = true;
+    cfg.fault.dup_prob = 1.0;  // every frame duplicated on the wire
+    Fabric f(eng, 2, cfg);
+    std::vector<std::uint64_t> order;
+    f.set_handler(1, [&](Packet&& p) { order.push_back(p.header[0]); });
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        Packet p = control(0, 1);
+        p.header[0] = i;
+        f.send(std::move(p));
+    }
+    eng.run();
+    ASSERT_EQ(order.size(), 5u);  // exactly-once delivery
+    for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+    EXPECT_GT(f.stats().dup_delivered, 0u);
+}
+
+TEST(FabricReliability, CorruptionIsDetectedAndNeverDelivered) {
+    sim::Engine eng;
+    FabricConfig cfg = reliable_cfg();
+    cfg.fault.enabled = true;
+    cfg.fault.corrupt_prob = 1.0;  // checksum storm: the link cannot recover
+    Fabric f(eng, 2, cfg);
+    int got = 0;
+    Status err = NBE_SUCCESS;
+    f.set_handler(1, [&](Packet&&) { ++got; });
+    Packet p = control(0, 1);
+    p.on_error = [&](Status s) { err = s; };
+    f.send(std::move(p));
+    eng.run();
+    EXPECT_EQ(got, 0);  // corrupted frames never reach the handler
+    EXPECT_GT(f.stats().corrupt_detected, 0u);
+    EXPECT_EQ(err, NBE_ERR_TIMEOUT);
+    EXPECT_TRUE(f.link_failed(0, 1));
+}
+
+TEST(FabricReliability, JitterPreservesPerLinkFifo) {
+    sim::Engine eng;
+    FabricConfig cfg = reliable_cfg();
+    cfg.fault.enabled = true;
+    cfg.fault.jitter_max = sim::microseconds(20);
+    cfg.reliability.rto_margin = sim::microseconds(25);
+    Fabric f(eng, 2, cfg);
+    std::vector<std::uint64_t> order;
+    f.set_handler(1, [&](Packet&& p) { order.push_back(p.header[0]); });
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        Packet p = control(0, 1);
+        p.header[0] = i;
+        f.send(std::move(p));
+    }
+    eng.run();
+    ASSERT_EQ(order.size(), 16u);
+    for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(FabricReliability, DiagnosticDumpListsFailedLinks) {
+    sim::Engine eng;
+    Fabric f(eng, 2, reliable_cfg());
+    f.set_handler(1, [](Packet&&) {});
+    f.fail_link_now(0, 1);
+    eng.run();
+    const std::string dump = f.diagnostic_dump();
+    EXPECT_NE(dump.find("-- fabric --"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("link 0->1 FAILED"), std::string::npos) << dump;
+}
