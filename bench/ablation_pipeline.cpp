@@ -31,7 +31,10 @@ TransactionsParams base() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
+    (void)argc;
+    (void)argv;
     {
         print_header(
             "Ablation: application pipeline depth (max outstanding epochs)",

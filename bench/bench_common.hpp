@@ -1,14 +1,41 @@
-// Shared table-printing helpers for the figure-reproduction benches.
+// Shared table-printing helpers for the figure-reproduction benches, plus
+// the --trace/--metrics flag handling every bench front-end shares.
 //
 // Every bench prints the same series the paper's figure plots, as aligned
 // text columns, so EXPERIMENTS.md can quote the output directly.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace nbe::bench {
+
+/// Consumes `--trace=<file>` and `--metrics=<file>` from argv (compacting
+/// it), enabling the corresponding instrumentation process-wide: every job
+/// the bench runs inherits the setting through default_obs_config(), and
+/// each finished job exports to the configured path (second and later jobs
+/// get a numbered suffix: out.json, out.2.json, ...). Unrecognized
+/// arguments are left in place for the bench's own parsing.
+inline void parse_obs_args(int& argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strncmp(a, "--trace=", 8) == 0) {
+            nbe::obs::default_export_config().trace_path = a + 8;
+            nbe::obs::default_obs_config().trace = true;
+        } else if (std::strncmp(a, "--metrics=", 10) == 0) {
+            nbe::obs::default_export_config().metrics_path = a + 10;
+            nbe::obs::default_obs_config().metrics = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+}
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref) {

@@ -13,7 +13,10 @@ using namespace nbe;
 using namespace nbe::apps;
 using namespace nbe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
+    (void)argc;
+    (void)argv;
     const std::size_t sizes[] = {256 << 10, 1u << 20};
     print_header(
         "Early Fence: target cumulative latency of epoch + work (us)",

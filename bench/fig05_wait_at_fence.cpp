@@ -13,7 +13,10 @@ using namespace nbe;
 using namespace nbe::apps;
 using namespace nbe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
+    (void)argc;
+    (void)argv;
     const std::size_t sizes[] = {4,        16,        64,       256,
                                  1024,     4096,      16384,    65536,
                                  256 << 10, 1u << 20};

@@ -13,7 +13,10 @@ using namespace nbe;
 using namespace nbe::apps;
 using namespace nbe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
+    (void)argc;
+    (void)argv;
     print_header("Late Unlock: per-epoch latency (us)",
                  "Figure 6 / Section VIII-A1");
     print_cols("series", {"first lock (O0)", "second lock (O1)"});

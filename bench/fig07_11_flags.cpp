@@ -11,7 +11,10 @@ using namespace nbe;
 using namespace nbe::apps;
 using namespace nbe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
+    (void)argc;
+    (void)argv;
     {
         print_header("A_A_A_R over GATS: out-of-order access epochs (us)",
                      "Figure 7 / Section VIII-A2");

@@ -50,6 +50,7 @@ TransactionsParams base_params(int ranks) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
     const std::vector<int> jobs =
         quick ? std::vector<int>{64, 128} : std::vector<int>{64, 128, 256, 512};

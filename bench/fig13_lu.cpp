@@ -70,6 +70,7 @@ void run_matrix(std::size_t m, const std::vector<int>& jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
     const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
     const std::vector<int> jobs = full
                                       ? std::vector<int>{8, 16, 32, 64, 128,

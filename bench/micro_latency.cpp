@@ -11,7 +11,10 @@ using namespace nbe;
 using namespace nbe::apps;
 using namespace nbe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
+    (void)argc;
+    (void)argv;
     const std::size_t sizes[] = {8, 1024, 65536, 1u << 20};
     for (EpochKind kind :
          {EpochKind::Fence, EpochKind::Access, EpochKind::Lock}) {

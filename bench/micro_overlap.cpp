@@ -9,7 +9,10 @@ using namespace nbe;
 using namespace nbe::apps;
 using namespace nbe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+    nbe::bench::parse_obs_args(argc, argv);
+    (void)argc;
+    (void)argv;
     const std::size_t sizes[] = {65536, 256u << 10, 1u << 20};
     print_header(
         "In-epoch communication/computation overlap ratio, lock epochs "

@@ -1,0 +1,34 @@
+# Structural schema for the Chrome trace_event JSON the obs tracer exports
+# (src/obs/trace.cpp). Evaluated by scripts/ci_trace_check.sh as
+#   jq -e -f trace_schema.jq out.json
+# The whole filter must evaluate to true; any violated clause makes jq exit
+# non-zero and names nothing — keep clauses small so failures bisect fast.
+(.displayTimeUnit == "ms")
+and (.traceEvents | type == "array" and length > 0)
+
+# Every event carries the common envelope.
+and ([.traceEvents[]
+      | (.ph | type == "string")
+        and (.pid | type == "number")
+        and (.tid | type == "number")
+        and (.name | type == "string" and length > 0)]
+     | all)
+
+# Phase-specific requirements: metadata names processes/threads, complete
+# spans carry ts + non-negative dur, instants carry ts and thread scope.
+and ([.traceEvents[] | .ph] | unique - ["M", "X", "i"] == [])
+and ([.traceEvents[] | select(.ph == "M")
+      | .name == "process_name" or .name == "thread_name"] | all)
+and ([.traceEvents[] | select(.ph == "X")
+      | (.ts | type == "number" and . >= 0)
+        and (.dur | type == "number" and . >= 0)
+        and (.cat | type == "string")] | all)
+and ([.traceEvents[] | select(.ph == "i")
+      | (.ts | type == "number" and . >= 0)
+        and (.s == "t")
+        and (.cat | type == "string")] | all)
+
+# The epoch-lifecycle taxonomy the docs promise: at least one epoch event
+# and one fabric event in any real bench trace.
+and ([.traceEvents[] | select(.ph != "M") | .cat]
+     | (contains(["epoch"]) and contains(["fabric"])))

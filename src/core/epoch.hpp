@@ -38,6 +38,8 @@ struct RmaOp {
     std::byte* origin_out = nullptr;      ///< Result destination (get family).
     std::uint64_t origin_key = 0;         ///< Registration-cache key.
     std::shared_ptr<rt::RequestState> op_req;  ///< Request-based variant.
+    sim::Time posted_at = 0;  ///< Virtual time the RMA call was recorded.
+    sim::Time issued_at = 0;  ///< Virtual time the transfer was issued.
     bool issued = false;
     bool local_done = false;
     bool remote_done = false;
@@ -85,6 +87,12 @@ struct Epoch {
 
     std::vector<OpPtr> ops;
     std::shared_ptr<rt::RequestState> close_req;
+
+    // Virtual-time lifecycle stamps (observability: deferral latency,
+    // close-to-completion interval, overlap ratio).
+    sim::Time opened_at = 0;
+    sim::Time activated_at = 0;
+    sim::Time closed_at = 0;
 
     std::uint64_t fence_seq = 0;         ///< Ordinal among this window's fences.
     std::uint32_t fence_dones_recv = 0;  ///< Fence barrier progress.

@@ -39,6 +39,44 @@ TypeId unpack_type(std::uint64_t v) {
 }
 ReduceOp unpack_rop(std::uint64_t v) { return static_cast<ReduceOp>(v & 0xff); }
 
+/// Trace-event name for the application call that opens an epoch of `k`.
+const char* open_event_name(EpochKind k) {
+    switch (k) {
+        case EpochKind::Access: return "start";
+        case EpochKind::Exposure: return "post";
+        case EpochKind::Lock: return "lock";
+        case EpochKind::LockAll: return "lock_all";
+        case EpochKind::Fence: return "fence.open";
+    }
+    return "open";
+}
+
+/// Trace-event name for the application call that closes an epoch of `k`.
+const char* close_event_name(EpochKind k) {
+    switch (k) {
+        case EpochKind::Access: return "complete";
+        case EpochKind::Exposure: return "wait";
+        case EpochKind::Lock: return "unlock";
+        case EpochKind::LockAll: return "unlock_all";
+        case EpochKind::Fence: return "fence.close";
+    }
+    return "close";
+}
+
+/// Name of the activate->complete span for an epoch of `k`.
+const char* span_event_name(EpochKind k) {
+    switch (k) {
+        case EpochKind::Access: return "epoch.access";
+        case EpochKind::Exposure: return "epoch.exposure";
+        case EpochKind::Lock: return "epoch.lock";
+        case EpochKind::LockAll: return "epoch.lock_all";
+        case EpochKind::Fence: return "epoch.fence";
+    }
+    return "epoch";
+}
+
+std::int64_t i64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
 }  // namespace
 
 Rma::Rma(rt::World& world)
@@ -54,6 +92,74 @@ Rma::Rma(rt::World& world)
     world_.subscribe_link_down(
         [this](Rank src, Rank dst) { on_link_down(src, dst); });
     diag_id_ = world_.engine().add_diagnostic([this] { return diagnostic_dump(); });
+
+    obs_ = &world_.obs();
+    if (obs_->active()) {
+        auto& m = obs_->metrics();
+        h_deferral_ = &m.histogram("rma.epoch_deferral_ns");
+        h_active_ = &m.histogram("rma.epoch_active_ns");
+        h_close_to_complete_ = &m.histogram("rma.epoch_close_to_complete_ns");
+        h_overlap_ = &m.histogram("rma.epoch_overlap_ratio",
+                                  obs::HistogramOptions{0.0625, 2.0, 5});
+        h_op_queue_ = &m.histogram("rma.op_queue_ns");
+        h_op_transfer_ = &m.histogram("rma.op_transfer_ns");
+    }
+    obs_->metrics().add_publisher([this](obs::Registry& reg) {
+        RmaStats tot;
+        for (Rank r = 0; r < world_.nranks(); ++r) {
+            const RmaStats& s = stats_[static_cast<std::size_t>(r)];
+            const std::string p = "rma.rank" + std::to_string(r) + ".";
+            reg.counter(p + "epochs_opened").set(s.epochs_opened);
+            reg.counter(p + "epochs_activated").set(s.epochs_activated);
+            reg.counter(p + "epochs_completed").set(s.epochs_completed);
+            reg.counter(p + "epochs_deferred_at_open")
+                .set(s.epochs_deferred_at_open);
+            reg.counter(p + "ops_issued").set(s.ops_issued);
+            reg.counter(p + "bytes_put").set(s.bytes_put);
+            reg.counter(p + "dones_sent").set(s.dones_sent);
+            reg.counter(p + "sweeps").set(s.sweeps);
+            reg.counter(p + "epochs_aborted").set(s.epochs_aborted);
+            reg.counter(p + "protocol_errors").set(s.protocol_errors);
+            reg.gauge(p + "max_active_epochs")
+                .set(static_cast<double>(s.max_active_epochs));
+            reg.gauge(p + "max_deferred_epochs")
+                .set(static_cast<double>(s.max_deferred_epochs));
+            tot.epochs_opened += s.epochs_opened;
+            tot.epochs_activated += s.epochs_activated;
+            tot.epochs_completed += s.epochs_completed;
+            tot.epochs_deferred_at_open += s.epochs_deferred_at_open;
+            tot.ops_issued += s.ops_issued;
+            tot.bytes_put += s.bytes_put;
+            tot.dones_sent += s.dones_sent;
+            tot.sweeps += s.sweeps;
+            tot.epochs_aborted += s.epochs_aborted;
+            tot.protocol_errors += s.protocol_errors;
+            tot.max_active_epochs =
+                std::max(tot.max_active_epochs, s.max_active_epochs);
+            tot.max_deferred_epochs =
+                std::max(tot.max_deferred_epochs, s.max_deferred_epochs);
+        }
+        reg.counter("rma.total.epochs_opened").set(tot.epochs_opened);
+        reg.counter("rma.total.epochs_activated").set(tot.epochs_activated);
+        reg.counter("rma.total.epochs_completed").set(tot.epochs_completed);
+        reg.counter("rma.total.epochs_deferred_at_open")
+            .set(tot.epochs_deferred_at_open);
+        reg.counter("rma.total.ops_issued").set(tot.ops_issued);
+        reg.counter("rma.total.bytes_put").set(tot.bytes_put);
+        reg.counter("rma.total.dones_sent").set(tot.dones_sent);
+        reg.counter("rma.total.sweeps").set(tot.sweeps);
+        reg.counter("rma.total.epochs_aborted").set(tot.epochs_aborted);
+        reg.counter("rma.total.protocol_errors").set(tot.protocol_errors);
+        reg.gauge("rma.total.max_active_epochs")
+            .set(static_cast<double>(tot.max_active_epochs));
+        reg.gauge("rma.total.max_deferred_epochs")
+            .set(static_cast<double>(tot.max_deferred_epochs));
+    });
+}
+
+obs::Tracer* Rma::tracer() const noexcept {
+    return obs_ != nullptr && obs_->tracer().enabled() ? &obs_->tracer()
+                                                       : nullptr;
 }
 
 Rma::~Rma() { world_.engine().remove_diagnostic(diag_id_); }
@@ -111,12 +217,19 @@ EpochPtr Rma::open_epoch(WinState& w, EpochKind kind, LockType lt,
     e->kind = kind;
     e->lock_type = lt;
     e->peers = std::move(peers);
+    e->opened_at = world_.engine().now();
     for (Rank p : e->peers) e->peer.emplace(p, PeerState{});
     if (kind == EpochKind::Fence) e->fence_seq = w.next_fence_seq++;
 
     auto& st = stats_[static_cast<std::size_t>(w.rank)];
     ++st.epochs_opened;
     w.open_app.push_back(e);
+    if (auto* t = tracer()) {
+        t->instant(w.rank, "epoch", open_event_name(kind),
+                   {{"win", w.id},
+                    {"seq", i64(e->seq)},
+                    {"peers", i64(e->peers.size())}});
+    }
 
     // An epoch opened toward an already-dead peer can never complete: abort
     // it at creation so its close returns an error instead of deadlocking.
@@ -141,7 +254,12 @@ Request Rma::close_epoch(WinState& w, const EpochPtr& e) {
     NBE_TRACE("[%ld] r%d w%u close seq=%lu kind=%s phase=%d", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind), (int)e->phase);
     if (e->closed_app) throw std::logic_error("epoch closed twice");
     e->closed_app = true;
+    e->closed_at = world_.engine().now();
     w.open_app.erase(std::find(w.open_app.begin(), w.open_app.end(), e));
+    if (auto* t = tracer()) {
+        t->instant(w.rank, "epoch", close_event_name(e->kind),
+                   {{"win", w.id}, {"seq", i64(e->seq)}});
+    }
     if (e->error != NBE_SUCCESS) {
         // Aborted (link failure) before the application closed it.
         e->close_req = rt::RequestState::failed(e->error);
@@ -213,6 +331,20 @@ void Rma::activation_scan(WinState& w) {
 void Rma::activate(WinState& w, const EpochPtr& e) {
     NBE_TRACE("[%ld] r%d w%u activate seq=%lu kind=%s closed=%d", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind), (int)e->closed_app);
     e->phase = Epoch::Phase::Active;
+    e->activated_at = world_.engine().now();
+    if (h_deferral_ != nullptr) {
+        h_deferral_->observe(
+            static_cast<double>(e->activated_at - e->opened_at));
+    }
+    if (auto* t = tracer()) {
+        if (e->activated_at > e->opened_at) {
+            t->complete_at(w.rank, "engine", "epoch.deferred", e->opened_at,
+                           e->activated_at,
+                           {{"win", w.id}, {"seq", i64(e->seq)}});
+        }
+        t->instant(w.rank, "engine", "epoch.activate",
+                   {{"win", w.id}, {"seq", i64(e->seq)}});
+    }
     w.active.push_back(e);
     auto& st = stats_[static_cast<std::size_t>(w.rank)];
     ++st.epochs_activated;
@@ -388,6 +520,38 @@ void Rma::complete_epoch(WinState& w, EpochPtr e) {  // NOLINT: by value — era
     e->phase = Epoch::Phase::Completed;
     ++stats_[static_cast<std::size_t>(w.rank)].epochs_completed;
     w.active.erase(std::find(w.active.begin(), w.active.end(), e));
+    const sim::Time now = world_.engine().now();
+    if (h_active_ != nullptr) {
+        h_active_->observe(static_cast<double>(now - e->activated_at));
+    }
+    if (h_close_to_complete_ != nullptr) {
+        h_close_to_complete_->observe(static_cast<double>(now - e->closed_at));
+    }
+    if (auto* t = tracer()) {
+        t->complete_at(w.rank, "epoch", span_event_name(e->kind),
+                       e->activated_at, now,
+                       {{"win", w.id},
+                        {"seq", i64(e->seq)},
+                        {"deferred_ns", e->activated_at - e->opened_at}});
+    }
+    // Overlap ratio: how much of the close->complete interval the
+    // application did NOT spend blocked in a wait on the close request.
+    // Observed lazily when (and only if) a process waits on this request.
+    if (h_overlap_ != nullptr && e->close_req && now > e->closed_at) {
+        obs::Histogram* h = h_overlap_;
+        const sim::Time t_close = e->closed_at;
+        const sim::Time t_comp = now;
+        e->close_req->set_wait_observer(
+            [h, t_close, t_comp](sim::Time enter, sim::Time exit) {
+                const auto span = static_cast<double>(t_comp - t_close);
+                const sim::Time b0 = std::max(enter, t_close);
+                const sim::Time b1 = std::min(exit, t_comp);
+                const double blocked =
+                    b1 > b0 ? static_cast<double>(b1 - b0) : 0.0;
+                const double ratio = span > 0.0 ? 1.0 - blocked / span : 1.0;
+                h->observe(std::clamp(ratio, 0.0, 1.0));
+            });
+    }
     if (e->close_req) e->close_req->complete(world_.engine());
     // Every internal completion triggers a scan over this window's deferred
     // epochs (§VII-A).
@@ -556,6 +720,10 @@ Request Rma::iflush(Rank r, std::uint32_t win, Rank target, bool local_only) {
     if (scope.empty()) {
         throw std::logic_error("flush requires an open passive-target epoch");
     }
+    if (auto* t = tracer()) {
+        t->instant(r, "epoch", "flush",
+                   {{"win", win}, {"target", target}, {"local", local_only}});
+    }
     if (mode_ == Mode::Mvapich) {
         // Real MVAPICH's lazy lock acquisition is forced by a flush: the
         // epoch must acquire its lock now, not at the unlock call.
@@ -641,6 +809,7 @@ Request Rma::post_op(Rank r, std::uint32_t win, OpKind kind, Rank target,
 }
 
 void Rma::record_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
+    op->posted_at = world_.engine().now();
     e->ops.push_back(op);
     e->has_ops = true;
     ++e->peer.at(op->target).ops_total;
@@ -654,6 +823,17 @@ void Rma::record_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
 void Rma::issue_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
     NBE_TRACE("[%ld] r%d w%u issue op id=%lu kind=%d tgt=%d seq=%lu", (long)world_.engine().now(), w.rank, w.id, (unsigned long)op->id, (int)op->kind, op->target, (unsigned long)e->seq);
     op->issued = true;
+    op->issued_at = world_.engine().now();
+    if (h_op_queue_ != nullptr) {
+        h_op_queue_->observe(static_cast<double>(op->issued_at - op->posted_at));
+    }
+    if (auto* t = tracer()) {
+        t->instant(w.rank, "engine", "op.issue",
+                   {{"win", w.id},
+                    {"op", i64(op->id)},
+                    {"target", op->target},
+                    {"bytes", i64(op->bytes)}});
+    }
     auto& st = stats_[static_cast<std::size_t>(w.rank)];
     ++st.ops_issued;
     st.bytes_put += op->bytes;
@@ -731,6 +911,17 @@ void Rma::send_op_data(WinState& w, const EpochPtr& e, const OpPtr& op) {
 void Rma::on_op_remote_complete(WinState& w, const EpochPtr& e, const OpPtr& op) {
     if (op->remote_done) return;
     op->remote_done = true;
+    const sim::Time now = world_.engine().now();
+    if (h_op_transfer_ != nullptr) {
+        h_op_transfer_->observe(static_cast<double>(now - op->issued_at));
+    }
+    if (auto* t = tracer()) {
+        t->complete_at(w.rank, "engine", "op.transfer", op->issued_at, now,
+                       {{"win", w.id},
+                        {"op", i64(op->id)},
+                        {"target", op->target},
+                        {"bytes", i64(op->bytes + op->reply_bytes)}});
+    }
     ++e->peer.at(op->target).ops_done;
     note_op_completion_for_flushes(w, *op, /*local_event=*/false);
     if (op->op_req) op->op_req->complete(world_.engine());
@@ -1012,6 +1203,12 @@ void Rma::abort_epoch(WinState& w, const EpochPtr& e, Status s) {
               (unsigned long)e->seq, to_string(e->kind), nbe::to_string(s));
     e->error = s;
     e->phase = Epoch::Phase::Completed;
+    if (auto* t = tracer()) {
+        t->instant(w.rank, "engine", "epoch.abort",
+                   {{"win", w.id},
+                    {"seq", i64(e->seq)},
+                    {"status", static_cast<int>(s)}});
+    }
     if (auto it = std::find(w.deferred.begin(), w.deferred.end(), e);
         it != w.deferred.end()) {
         w.deferred.erase(it);
@@ -1047,8 +1244,8 @@ void Rma::abort_epoch(WinState& w, const EpochPtr& e, Status s) {
     activation_scan(w);
 }
 
-std::string Rma::diagnostic_dump() const {
-    std::ostringstream os;
+std::vector<obs::Record> Rma::diagnostic_records() const {
+    std::vector<obs::Record> out;
     for (Rank r = 0; r < world_.nranks(); ++r) {
         for (const auto& wptr : wins_[static_cast<std::size_t>(r)]) {
             const WinState& w = *wptr;
@@ -1073,23 +1270,36 @@ std::string Rma::diagnostic_dump() const {
                     done += ps.ops_done;
                     total += ps.ops_total;
                 }
-                os << "  rank" << r << " win" << w.id << " epoch seq="
-                   << e->seq << " kind=" << to_string(e->kind) << " phase="
-                   << (e->phase == Epoch::Phase::Deferred ? "deferred"
-                                                          : "active")
-                   << (e->closed_app ? " closed" : " open") << " peers=[";
+                std::string peers = "[";
                 for (std::size_t i = 0; i < e->peers.size() && i < 8; ++i) {
-                    os << (i ? "," : "") << e->peers[i];
+                    if (i != 0) peers += ',';
+                    peers += std::to_string(e->peers[i]);
                 }
-                if (e->peers.size() > 8) os << ",...";
-                os << "] granted=" << granted << "/" << e->peers.size()
-                   << " ops_done=" << done << "/" << total << "\n";
+                if (e->peers.size() > 8) peers += ",...";
+                peers += ']';
+                obs::Record rec("rma.epoch");
+                rec.kv("rank", r)
+                    .kv("win", static_cast<std::uint64_t>(w.id))
+                    .kv("seq", e->seq)
+                    .kv("kind", to_string(e->kind))
+                    .kv("phase", e->phase == Epoch::Phase::Deferred
+                                     ? "deferred"
+                                     : "active")
+                    .kv("state", e->closed_app ? "closed" : "open")
+                    .kv("peers", peers)
+                    .kv("granted", std::to_string(granted) + "/" +
+                                       std::to_string(e->peers.size()))
+                    .kv("ops_done", std::to_string(done) + "/" +
+                                        std::to_string(total));
+                out.push_back(std::move(rec));
             }
         }
     }
-    std::string body = os.str();
-    if (body.empty()) return body;
-    return "-- rma open epochs --\n" + body;
+    return out;
+}
+
+std::string Rma::diagnostic_dump() const {
+    return obs::render_records(diagnostic_records(), "rma open epochs");
 }
 
 void Rma::sweep(Rank r) {

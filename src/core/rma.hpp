@@ -26,6 +26,7 @@
 
 #include "core/epoch.hpp"
 #include "core/types.hpp"
+#include "obs/obs.hpp"
 #include "rt/world.hpp"
 
 namespace nbe::rma {
@@ -104,7 +105,11 @@ public:
     [[nodiscard]] std::uint64_t granted_counter(Rank r, std::uint32_t win,
                                                 Rank from) const;
 
-    /// Multi-line dump of every rank's open epoch state; registered as an
+    /// Structured diagnostic state: one "rma.epoch" record per epoch that
+    /// is still open (deferred or active) anywhere in the job.
+    [[nodiscard]] std::vector<obs::Record> diagnostic_records() const;
+
+    /// Human-readable rendering of diagnostic_records(); registered as an
     /// engine deadlock diagnostic.
     [[nodiscard]] std::string diagnostic_dump() const;
 
@@ -210,12 +215,26 @@ private:
     void abort_epochs_toward(Rank r, Rank peer, Status s);
     void abort_epoch(WinState& w, const EpochPtr& e, Status s);
 
+    /// Non-null only while tracing is enabled for this job.
+    [[nodiscard]] obs::Tracer* tracer() const noexcept;
+
     rt::World& world_;
     Mode mode_;
     std::vector<std::vector<std::unique_ptr<WinState>>> wins_;  // [rank][win]
     std::vector<RmaStats> stats_;
     std::size_t acc_rndv_threshold_ = 8192;  ///< paper: >8 KB accumulates
     std::uint64_t diag_id_ = 0;
+
+    // Observability: derived per-epoch/per-op histograms, cached from the
+    // registry at construction iff obs is active for the job (null -> the
+    // hot paths skip all derived-metric work).
+    obs::Obs* obs_ = nullptr;
+    obs::Histogram* h_deferral_ = nullptr;          ///< open -> activate, ns
+    obs::Histogram* h_active_ = nullptr;            ///< activate -> complete, ns
+    obs::Histogram* h_close_to_complete_ = nullptr; ///< app close -> complete, ns
+    obs::Histogram* h_overlap_ = nullptr;           ///< epoch overlap ratio 0..1
+    obs::Histogram* h_op_queue_ = nullptr;          ///< op record -> issue, ns
+    obs::Histogram* h_op_transfer_ = nullptr;       ///< op issue -> retire, ns
 };
 
 }  // namespace nbe::rma

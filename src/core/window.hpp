@@ -224,7 +224,12 @@ public:
 
     /// Process bodies reference the RMA engine; stop them before rma_ is
     /// destroyed (members are destroyed in reverse declaration order).
-    ~Job() { world_.engine().shutdown(); }
+    /// Trace/metrics files (if configured) are written out here, after the
+    /// job's last event.
+    ~Job() {
+        world_.engine().shutdown();
+        obs::maybe_export(world_.obs());
+    }
 
     void run(const std::function<void(Proc&)>& rank_main) {
         world_.run([this, &rank_main](rt::Process& p) {

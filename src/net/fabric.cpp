@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <memory>
-#include <sstream>
 #include <utility>
+
+#include "obs/obs.hpp"
 
 namespace nbe::net {
 
@@ -53,6 +54,27 @@ Fabric::Fabric(sim::Engine& engine, int nranks, FabricConfig cfg)
 Fabric::~Fabric() { engine_.remove_diagnostic(diag_id_); }
 
 void Fabric::set_handler(Rank r, Handler h) { handlers_.at(asz(r)) = std::move(h); }
+
+void Fabric::set_obs(obs::Obs* o) {
+    obs_ = o;
+    if (!o) return;
+    o->metrics().add_publisher([this](obs::Registry& reg) {
+        reg.counter("fabric.packets_sent").set(stats_.packets_sent);
+        reg.counter("fabric.bytes_sent").set(stats_.bytes_sent);
+        reg.counter("fabric.credit_stalls").set(stats_.credit_stalls);
+        reg.counter("fabric.pin_hits").set(stats_.pin_hits);
+        reg.counter("fabric.pin_misses").set(stats_.pin_misses);
+        reg.counter("fabric.drops_injected").set(stats_.drops_injected);
+        reg.counter("fabric.retransmits").set(stats_.retransmits);
+        reg.counter("fabric.dup_delivered").set(stats_.dup_delivered);
+        reg.counter("fabric.corrupt_detected").set(stats_.corrupt_detected);
+        reg.counter("fabric.links_failed").set(stats_.links_failed);
+    });
+}
+
+obs::Tracer* Fabric::tracer() const noexcept {
+    return obs_ && obs_->tracer().enabled() ? &obs_->tracer() : nullptr;
+}
 
 std::size_t Fabric::wire_bytes(const Packet& p) const noexcept {
     if (p.payload.empty()) return cfg_.control_bytes;
@@ -108,6 +130,11 @@ void Fabric::send(Packet&& p, sim::Duration extra_src_delay) {
             auto& cr = credits_[asz(src)];
             if (cr == 0) {
                 ++stats_.credit_stalls;
+                if (auto* t = tracer()) {
+                    t->instant(src, "fabric", "credit.stall",
+                               {{"dst", it->second.pkt.dst},
+                                {"kind", it->second.pkt.kind}});
+                }
                 Stalled s;
                 s.reliable = true;
                 s.link_key = key;
@@ -126,6 +153,10 @@ void Fabric::send(Packet&& p, sim::Duration extra_src_delay) {
         auto& cr = credits_[asz(src)];
         if (cr == 0) {
             ++stats_.credit_stalls;
+            if (auto* t = tracer()) {
+                t->instant(src, "fabric", "credit.stall",
+                           {{"dst", p.dst}, {"kind", p.kind}});
+            }
             Stalled s;
             s.packet = std::move(p);
             s.extra_delay = extra_src_delay;
@@ -154,6 +185,12 @@ void Fabric::transmit(Packet&& p, sim::Duration extra_src_delay) {
 
     ++stats_.packets_sent;
     stats_.bytes_sent += bytes;
+    if (auto* t = tracer()) {
+        t->complete_at(p.src, "fabric", "pkt.tx", start, end,
+                       {{"kind", p.kind},
+                        {"dst", p.dst},
+                        {"bytes", static_cast<std::int64_t>(bytes)}});
+    }
 
     // Fault draws happen in a fixed order per transmission so a given
     // (workload, FaultConfig) replays bit-identically.
@@ -225,6 +262,9 @@ void Fabric::deliver_to_handler(Packet&& p) {
         throw std::logic_error("Fabric: no handler registered for rank " +
                                std::to_string(p.dst));
     }
+    if (auto* t = tracer()) {
+        t->instant(p.dst, "fabric", "pkt.rx", {{"kind", p.kind}, {"src", p.src}});
+    }
     handler(std::move(p));
 }
 
@@ -248,6 +288,14 @@ void Fabric::transmit_rel(LinkState& l, std::uint64_t key, std::uint64_t seq) {
 
     if (f.retries == 0) ++stats_.packets_sent;
     stats_.bytes_sent += bytes;
+    if (auto* t = tracer()) {
+        t->complete_at(src, "fabric", "pkt.tx", start, end,
+                       {{"kind", f.pkt.kind},
+                        {"dst", dst},
+                        {"bytes", static_cast<std::int64_t>(bytes)},
+                        {"seq", static_cast<std::int64_t>(seq)},
+                        {"retry", f.retries}});
+    }
 
     bool dropped = false;
     bool corrupted = false;
@@ -372,6 +420,12 @@ void Fabric::on_timeout(std::uint64_t key, std::uint64_t seq,
     }
     ++f.retries;
     ++stats_.retransmits;
+    if (auto* t = tracer()) {
+        t->instant(f.pkt.src, "fabric", "pkt.retransmit",
+                   {{"dst", f.pkt.dst},
+                    {"seq", static_cast<std::int64_t>(seq)},
+                    {"retry", f.retries}});
+    }
     transmit_rel(l, key, seq);
 }
 
@@ -382,6 +436,9 @@ void Fabric::fail_link(std::uint64_t key, LinkState& l,
     ++stats_.links_failed;
     const Rank src = static_cast<Rank>(key / static_cast<std::uint64_t>(nranks_));
     const Rank dst = static_cast<Rank>(key % static_cast<std::uint64_t>(nranks_));
+    if (auto* t = tracer()) {
+        t->instant(src, "fabric", "link.fail", {{"dst", dst}});
+    }
 
     // Drop queue entries for this link first: their packets are completed
     // (with an error) through the unacked sweep below.
@@ -462,22 +519,28 @@ sim::Duration Fabric::pin(Rank r, std::uint64_t key, std::size_t bytes) {
 
 // -------------------------------------------------------------- diagnostics
 
-std::string Fabric::diagnostic_dump() const {
-    std::ostringstream os;
-    os << "-- fabric --\n"
-       << "  packets=" << stats_.packets_sent << " bytes=" << stats_.bytes_sent
-       << " credit_stalls=" << stats_.credit_stalls
-       << " drops_injected=" << stats_.drops_injected
-       << " retransmits=" << stats_.retransmits
-       << " dup_delivered=" << stats_.dup_delivered
-       << " corrupt_detected=" << stats_.corrupt_detected
-       << " links_failed=" << stats_.links_failed << "\n";
+std::vector<obs::Record> Fabric::diagnostic_records() const {
+    std::vector<obs::Record> out;
+    out.push_back(obs::Record("fabric.stats")
+                      .kv("packets", stats_.packets_sent)
+                      .kv("bytes", stats_.bytes_sent)
+                      .kv("credit_stalls", stats_.credit_stalls)
+                      .kv("drops_injected", stats_.drops_injected)
+                      .kv("retransmits", stats_.retransmits)
+                      .kv("dup_delivered", stats_.dup_delivered)
+                      .kv("corrupt_detected", stats_.corrupt_detected)
+                      .kv("links_failed", stats_.links_failed));
     for (Rank r = 0; r < nranks_; ++r) {
         if (credits_[asz(r)] == cfg_.tx_credits && stalled_[asz(r)].empty()) {
             continue;
         }
-        os << "  rank" << r << ": credits=" << credits_[asz(r)] << "/"
-           << cfg_.tx_credits << " stalled=" << stalled_[asz(r)].size() << "\n";
+        out.push_back(
+            obs::Record("fabric.rank")
+                .kv("rank", r)
+                .kv("credits", std::to_string(credits_[asz(r)]) + "/" +
+                                   std::to_string(cfg_.tx_credits))
+                .kv("stalled",
+                    static_cast<std::uint64_t>(stalled_[asz(r)].size())));
     }
     std::vector<std::uint64_t> keys;
     keys.reserve(links_.size());
@@ -487,13 +550,23 @@ std::string Fabric::diagnostic_dump() const {
     std::sort(keys.begin(), keys.end());
     for (const std::uint64_t k : keys) {
         const LinkState& l = links_.at(k);
-        os << "  link " << k / static_cast<std::uint64_t>(nranks_) << "->"
-           << k % static_cast<std::uint64_t>(nranks_)
-           << (l.failed ? " FAILED" : "") << " unacked=" << l.unacked.size()
-           << " rx_ooo=" << l.rx_ooo.size() << " acked=" << l.acked
-           << " rx_next=" << l.rx_next << "\n";
+        out.push_back(
+            obs::Record("fabric.link")
+                .kv("src", static_cast<std::uint64_t>(
+                               k / static_cast<std::uint64_t>(nranks_)))
+                .kv("dst", static_cast<std::uint64_t>(
+                               k % static_cast<std::uint64_t>(nranks_)))
+                .kv("failed", l.failed)
+                .kv("unacked", static_cast<std::uint64_t>(l.unacked.size()))
+                .kv("rx_ooo", static_cast<std::uint64_t>(l.rx_ooo.size()))
+                .kv("acked", l.acked)
+                .kv("rx_next", l.rx_next));
     }
-    return os.str();
+    return out;
+}
+
+std::string Fabric::diagnostic_dump() const {
+    return obs::render_records(diagnostic_records(), "fabric");
 }
 
 }  // namespace nbe::net

@@ -39,8 +39,14 @@
 
 #include "net/config.hpp"
 #include "net/packet.hpp"
+#include "obs/record.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+
+namespace nbe::obs {
+class Obs;
+class Tracer;
+}  // namespace nbe::obs
 
 namespace nbe::net {
 
@@ -109,8 +115,19 @@ public:
     };
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
-    /// Multi-line dump of credits, stalled queues and per-link reliability
-    /// state; registered as an engine deadlock diagnostic.
+    /// Attaches the job's observability context: packet tx/rx, credit
+    /// stalls, retransmits and link failures become trace events, and the
+    /// fabric counters are pull-published into the metrics registry. Null
+    /// (the default) disables all hooks.
+    void set_obs(obs::Obs* o);
+
+    /// Structured diagnostic state: one "fabric.stats" record, one
+    /// "fabric.rank" record per rank with consumed credits or stalled
+    /// packets, one "fabric.link" record per non-idle reliable link.
+    [[nodiscard]] std::vector<obs::Record> diagnostic_records() const;
+
+    /// Human-readable rendering of diagnostic_records(); registered as an
+    /// engine deadlock diagnostic.
     [[nodiscard]] std::string diagnostic_dump() const;
 
 private:
@@ -169,6 +186,8 @@ private:
     void return_credit(Rank src);
     [[nodiscard]] std::size_t wire_bytes(const Packet& p) const noexcept;
     [[nodiscard]] sim::Duration draw_jitter();
+    /// Non-null only while tracing is enabled for this job.
+    [[nodiscard]] obs::Tracer* tracer() const noexcept;
 
     sim::Engine& engine_;
     int nranks_;
@@ -191,6 +210,7 @@ private:
 
     Stats stats_;
     std::uint64_t diag_id_ = 0;
+    obs::Obs* obs_ = nullptr;
 };
 
 }  // namespace nbe::net

@@ -1,0 +1,62 @@
+// Minimal deterministic JSON emission helpers for the observability layer.
+//
+// Everything the obs subsystem exports (Chrome traces, metrics snapshots)
+// must be byte-identical across identical seeded runs, so numbers are
+// formatted with explicit, locale-independent snprintf conversions and
+// maps are walked in sorted order by the callers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace nbe::obs {
+
+/// Writes `s` as a JSON string literal (including the quotes).
+inline void json_string(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+/// Formats a double deterministically (shortest round-trip is overkill;
+/// %.9g is stable, compact and locale-independent for our value ranges).
+inline std::string json_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/// Formats virtual-time nanoseconds as the microsecond decimal Chrome's
+/// trace format expects ("ts" is in microseconds). Pure integer math so
+/// the output is bit-deterministic: 1234567 ns -> "1234.567".
+inline std::string json_usec(std::int64_t ns) {
+    char buf[48];
+    const char* sign = ns < 0 ? "-" : "";
+    const std::int64_t mag = ns < 0 ? -ns : ns;
+    std::snprintf(buf, sizeof(buf), "%s%lld.%03lld", sign,
+                  static_cast<long long>(mag / 1000),
+                  static_cast<long long>(mag % 1000));
+    return buf;
+}
+
+}  // namespace nbe::obs

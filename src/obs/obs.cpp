@@ -1,0 +1,44 @@
+#include "obs/obs.hpp"
+
+#include <fstream>
+
+namespace nbe::obs {
+
+ObsConfig& default_obs_config() {
+    static ObsConfig cfg;
+    return cfg;
+}
+
+ExportConfig& default_export_config() {
+    static ExportConfig cfg;
+    return cfg;
+}
+
+std::string numbered_path(const std::string& path, int index) {
+    if (index <= 1) return path;
+    const auto dot = path.rfind('.');
+    const auto slash = path.rfind('/');
+    const std::string tag = "." + std::to_string(index);
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + tag;
+    }
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+void maybe_export(Obs& obs) {
+    auto& ex = default_export_config();
+    if (ex.trace_path.empty() && ex.metrics_path.empty()) return;
+    static int run_index = 0;
+    ++run_index;
+    if (!ex.trace_path.empty() && obs.tracer().enabled()) {
+        std::ofstream os(numbered_path(ex.trace_path, run_index));
+        obs.tracer().write_chrome_json(os);
+    }
+    if (!ex.metrics_path.empty() && obs.metrics_enabled()) {
+        std::ofstream os(numbered_path(ex.metrics_path, run_index));
+        obs.metrics().write_json(os);
+    }
+}
+
+}  // namespace nbe::obs

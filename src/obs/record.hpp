@@ -1,0 +1,87 @@
+// Structured diagnostic records.
+//
+// Deadlock diagnostics used to be ad-hoc multi-line strings assembled by
+// each subsystem; tests could only grep substrings. A Record is the
+// structured form — a type tag plus ordered key/value fields — from which
+// the human-readable dump is *rendered*, so tests assert on fields and the
+// string format can evolve freely.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nbe::obs {
+
+/// One diagnostic record: a type tag ("fabric.link", "rma.epoch", ...) and
+/// ordered key/value fields. Values are stored pre-formatted; insertion
+/// order is preserved so rendered dumps read naturally.
+class Record {
+public:
+    explicit Record(std::string type) : type_(std::move(type)) {}
+
+    Record& kv(std::string key, std::string value) {
+        fields_.emplace_back(std::move(key), std::move(value));
+        return *this;
+    }
+    Record& kv(std::string key, const char* value) {
+        return kv(std::move(key), std::string(value));
+    }
+    Record& kv(std::string key, std::uint64_t value) {
+        return kv(std::move(key), std::to_string(value));
+    }
+    Record& kv(std::string key, std::int64_t value) {
+        return kv(std::move(key), std::to_string(value));
+    }
+    Record& kv(std::string key, int value) {
+        return kv(std::move(key), std::to_string(value));
+    }
+    Record& kv(std::string key, bool value) {
+        return kv(std::move(key), std::string(value ? "1" : "0"));
+    }
+
+    [[nodiscard]] const std::string& type() const noexcept { return type_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+    fields() const noexcept {
+        return fields_;
+    }
+
+    /// Value of the first field named `key`, or nullptr.
+    [[nodiscard]] const std::string* find(std::string_view key) const noexcept {
+        for (const auto& [k, v] : fields_) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+
+    /// Renders "type k=v k=v ..." on one line (no trailing newline).
+    [[nodiscard]] std::string render() const {
+        std::ostringstream os;
+        os << type_;
+        for (const auto& [k, v] : fields_) os << ' ' << k << '=' << v;
+        return os.str();
+    }
+
+private:
+    std::string type_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Renders a record list as the classic deadlock-dump section:
+///   -- heading --
+///     type k=v k=v
+/// Returns "" when `records` is empty (sections with nothing to say are
+/// omitted from the deadlock report).
+inline std::string render_records(const std::vector<Record>& records,
+                                  std::string_view heading) {
+    if (records.empty()) return {};
+    std::ostringstream os;
+    os << "-- " << heading << " --\n";
+    for (const auto& r : records) os << "  " << r.render() << "\n";
+    return os.str();
+}
+
+}  // namespace nbe::obs

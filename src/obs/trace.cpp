@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace nbe::obs {
+
+void Tracer::push(TraceEvent ev) {
+    if (ring_capacity_ > 0 && ev.rank >= 0) {
+        const auto r = static_cast<std::size_t>(ev.rank);
+        if (r >= ring_.size()) ring_.resize(r + 1);
+        auto& ring = ring_[r];
+        std::ostringstream os;
+        os << '[' << json_usec(ev.ts) << "us] " << ev.cat << ' ' << ev.name;
+        if (ev.is_span()) os << " dur=" << json_usec(ev.dur) << "us";
+        for (const auto& [k, v] : ev.args) os << ' ' << k << '=' << v;
+        if (ring.size() == ring_capacity_) ring.pop_front();
+        ring.push_back(os.str());
+    }
+    events_.push_back(std::move(ev));
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"nbepoch\"}}";
+    std::set<int> ranks;
+    for (const auto& ev : events_) ranks.insert(ev.rank);
+    for (int r : ranks) {
+        os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        json_string(os, "rank " + std::to_string(r));
+        os << "}}";
+    }
+    for (const auto& ev : events_) {
+        os << ",\n{\"name\":";
+        json_string(os, ev.name);
+        os << ",\"cat\":";
+        json_string(os, ev.cat);
+        os << ",\"ph\":\"" << (ev.is_span() ? 'X' : 'i')
+           << "\",\"pid\":0,\"tid\":" << ev.rank
+           << ",\"ts\":" << json_usec(ev.ts);
+        if (ev.is_span()) {
+            os << ",\"dur\":" << json_usec(ev.dur);
+        } else {
+            os << ",\"s\":\"t\"";
+        }
+        os << ",\"args\":{";
+        bool first = true;
+        for (const auto& [k, v] : ev.args) {
+            if (!first) os << ',';
+            first = false;
+            json_string(os, k);
+            os << ':' << v;
+        }
+        os << "}}";
+    }
+    os << "\n]}\n";
+}
+
+std::string Tracer::render_recent() const {
+    bool any = false;
+    for (const auto& ring : ring_) {
+        if (!ring.empty()) any = true;
+    }
+    if (!any) return {};
+    std::ostringstream os;
+    os << "-- recent events --\n";
+    for (std::size_t r = 0; r < ring_.size(); ++r) {
+        if (ring_[r].empty()) continue;
+        os << "  rank" << r << ":\n";
+        for (const auto& line : ring_[r]) os << "    " << line << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace nbe::obs

@@ -1,0 +1,157 @@
+// Virtual-time event tracer with Chrome trace_event JSON export.
+//
+// Spans ("ph":"X") and instants ("ph":"i") are recorded against the
+// simulation's virtual clock, tagged with the simulated rank (exported as
+// the Chrome "tid" so each rank gets its own timeline row). Because the
+// engine executes strictly serially in virtual time, the event list is
+// append-ordered deterministically and the exported JSON is byte-identical
+// across identical seeded runs — diffable traces, which no wall-clock MPI
+// tracer can offer.
+//
+// Cost model: when disabled (the default), every hook is a single branch on
+// `enabled_`; no event is constructed. NBE_TRACE_SPAN additionally compiles
+// to nothing when NBE_OBS_ENABLED is defined to 0, for builds that must
+// prove the hooks are free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+#ifndef NBE_OBS_ENABLED
+#define NBE_OBS_ENABLED 1
+#endif
+
+namespace nbe::obs {
+
+/// Tracer configuration (a slice of ObsConfig; see obs.hpp).
+struct TraceConfig {
+    bool enabled = false;
+    /// Recent events retained per rank for deadlock reports.
+    std::size_t ring_capacity = 16;
+};
+
+/// One recorded event. Names and categories are static string literals at
+/// every call site, so the tracer stores raw pointers — recording an event
+/// is two pushes, no allocation beyond vector growth.
+struct TraceEvent {
+    sim::Time ts = 0;        ///< ns, virtual
+    sim::Duration dur = -1;  ///< ns; < 0 means instant, >= 0 means span
+    int rank = 0;
+    const char* cat = "";
+    const char* name = "";
+    std::vector<std::pair<const char*, std::int64_t>> args;
+
+    [[nodiscard]] bool is_span() const noexcept { return dur >= 0; }
+};
+
+class Tracer {
+public:
+    using Arg = std::pair<const char*, std::int64_t>;
+
+    Tracer(sim::Engine& engine, const TraceConfig& cfg)
+        : engine_(engine),
+          enabled_(cfg.enabled),
+          ring_capacity_(cfg.ring_capacity) {}
+
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+    void set_enabled(bool on) noexcept { enabled_ = on; }
+    [[nodiscard]] sim::Time now() const noexcept { return engine_.now(); }
+
+    /// Records a point event at the current virtual time.
+    void instant(int rank, const char* cat, const char* name,
+                 std::initializer_list<Arg> args = {}) {
+        if (!enabled_) return;
+        push(TraceEvent{engine_.now(), -1, rank, cat, name, {args}});
+    }
+
+    /// Records a span [t0, now].
+    void complete(int rank, const char* cat, const char* name, sim::Time t0,
+                  std::initializer_list<Arg> args = {}) {
+        complete_at(rank, cat, name, t0, engine_.now(), args);
+    }
+
+    /// Records a span [t0, t1] (t1 may lie in the virtual future, e.g. a
+    /// packet's wire occupancy scheduled at transmit time).
+    void complete_at(int rank, const char* cat, const char* name, sim::Time t0,
+                     sim::Time t1, std::initializer_list<Arg> args = {}) {
+        if (!enabled_) return;
+        push(TraceEvent{t0, t1 >= t0 ? t1 - t0 : 0, rank, cat, name, {args}});
+    }
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+        return events_;
+    }
+
+    /// Chrome trace_event JSON ("chrome://tracing" / Perfetto loadable).
+    /// Timestamps are virtual microseconds with ns precision; tid = rank.
+    void write_chrome_json(std::ostream& os) const;
+
+    /// Renders the per-rank recent-event ring for deadlock reports:
+    ///   -- recent events --
+    ///     rank0: [12.345us] epoch post seq=1 ...
+    /// Returns "" when tracing is off or nothing was recorded.
+    [[nodiscard]] std::string render_recent() const;
+
+private:
+    void push(TraceEvent ev);
+
+    sim::Engine& engine_;
+    bool enabled_ = false;
+    std::size_t ring_capacity_;
+    std::vector<TraceEvent> events_;
+    /// ring_[rank] holds the last ring_capacity_ rendered event lines.
+    std::vector<std::deque<std::string>> ring_;
+};
+
+/// RAII scope recording a span over its own lifetime. Captures nothing
+/// when the tracer is null or disabled.
+class SpanGuard {
+public:
+    SpanGuard(Tracer* t, int rank, const char* cat, const char* name) noexcept
+        : t_(t && t->enabled() ? t : nullptr),
+          rank_(rank),
+          cat_(cat),
+          name_(name),
+          t0_(t_ ? t_->now() : 0) {}
+    ~SpanGuard() {
+        if (t_) t_->complete(rank_, cat_, name_, t0_);
+    }
+    SpanGuard(const SpanGuard&) = delete;
+    SpanGuard& operator=(const SpanGuard&) = delete;
+
+private:
+    Tracer* t_;
+    int rank_;
+    const char* cat_;
+    const char* name_;
+    sim::Time t0_;
+};
+
+}  // namespace nbe::obs
+
+#define NBE_OBS_CONCAT_IMPL(a, b) a##b
+#define NBE_OBS_CONCAT(a, b) NBE_OBS_CONCAT_IMPL(a, b)
+
+/// Scoped-span hook: records `name` over the enclosing scope's lifetime.
+/// `tracer` is a Tracer* (may be null). Compiles to nothing when
+/// NBE_OBS_ENABLED is 0.
+#if NBE_OBS_ENABLED
+#define NBE_TRACE_SPAN(tracer, rank, cat, name)                        \
+    ::nbe::obs::SpanGuard NBE_OBS_CONCAT(nbe_obs_span_, __LINE__)(     \
+        (tracer), (rank), (cat), (name))
+#else
+#define NBE_TRACE_SPAN(tracer, rank, cat, name) \
+    do {                                        \
+    } while (false)
+#endif

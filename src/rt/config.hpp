@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "net/config.hpp"
+#include "obs/obs.hpp"
 #include "sim/time.hpp"
 
 namespace nbe::rt {
@@ -43,6 +44,11 @@ struct JobConfig {
 
     /// Payload size at or above which two-sided messages use rendezvous.
     std::size_t eager_threshold = 16384;
+
+    /// Observability (tracing + derived metrics). Defaults from the
+    /// process-wide config so bench --trace/--metrics flags reach every
+    /// job; off unless something opted in.
+    obs::ObsConfig obs = obs::default_obs_config();
 };
 
 }  // namespace nbe::rt

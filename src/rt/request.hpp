@@ -12,6 +12,7 @@
 // reports operation errors through the request, not by aborting the job.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -44,12 +45,27 @@ public:
     void set_label(std::string label) { label_ = std::move(label); }
     [[nodiscard]] const std::string& label() const noexcept { return label_; }
 
+    /// Observability hook: invoked once, with the virtual enter/exit times
+    /// of the first wait() that returns after the observer is installed.
+    /// The RMA core uses it to derive the communication/computation overlap
+    /// ratio of a nonblocking epoch (how much of the close-to-completion
+    /// interval the application actually spent blocked).
+    using WaitObserver =
+        std::function<void(sim::Time enter, sim::Time exit)>;
+    void set_wait_observer(WaitObserver fn) { wait_observer_ = std::move(fn); }
+
     /// Parks the process until complete (progress is autonomous). Returns
     /// the completion status.
     Status wait(sim::Process& p) {
+        const sim::Time enter = p.now();
         if (!complete_) {
             p.set_blocked_on(label_.empty() ? "request wait" : label_);
             cond_.wait_until(p, [this] { return complete_; });
+        }
+        if (wait_observer_) {
+            auto fn = std::move(wait_observer_);
+            wait_observer_ = nullptr;
+            fn(enter, p.now());
         }
         return status_;
     }
@@ -82,6 +98,7 @@ private:
     bool complete_ = false;
     Status status_ = NBE_SUCCESS;
     std::string label_;
+    WaitObserver wait_observer_;
     sim::Condition cond_;
 };
 

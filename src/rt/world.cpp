@@ -7,7 +7,11 @@
 namespace nbe::rt {
 
 World::World(JobConfig cfg)
-    : cfg_(cfg), engine_(), fabric_(engine_, cfg.ranks, cfg.fabric) {
+    : cfg_(cfg),
+      engine_(),
+      obs_(engine_, cfg.obs),
+      fabric_(engine_, cfg.ranks, cfg.fabric) {
+    fabric_.set_obs(&obs_);
     ctxs_.reserve(static_cast<std::size_t>(cfg.ranks));
     for (Rank r = 0; r < cfg.ranks; ++r) {
         ctxs_.push_back(std::make_unique<RankCtx>(r, cfg.seed));
@@ -17,6 +21,28 @@ World::World(JobConfig cfg)
     }
     fabric_.set_link_down_handler(
         [this](Rank src, Rank dst) { on_link_down(src, dst); });
+    // A deadlock report includes the last few trace events of every rank
+    // when tracing is on — the timeline leading into the hang.
+    engine_.add_diagnostic([this] { return obs_.tracer().render_recent(); });
+    // Pull-publish per-rank runtime stats into the unified registry.
+    obs_.metrics().add_publisher([this](obs::Registry& reg) {
+        sim::Duration mpi_total = 0;
+        std::uint64_t calls_total = 0, errors_total = 0;
+        for (const auto& c : ctxs_) {
+            const std::string p = "rt.rank" + std::to_string(c->rank) + ".";
+            reg.counter(p + "time_in_mpi_ns")
+                .set(static_cast<std::uint64_t>(c->stats.time_in_mpi));
+            reg.counter(p + "mpi_calls").set(c->stats.mpi_calls);
+            reg.counter(p + "protocol_errors").set(c->stats.protocol_errors);
+            mpi_total += c->stats.time_in_mpi;
+            calls_total += c->stats.mpi_calls;
+            errors_total += c->stats.protocol_errors;
+        }
+        reg.counter("rt.total.time_in_mpi_ns")
+            .set(static_cast<std::uint64_t>(mpi_total));
+        reg.counter("rt.total.mpi_calls").set(calls_total);
+        reg.counter("rt.total.protocol_errors").set(errors_total);
+    });
 }
 
 void World::run(std::function<void(Process&)> rank_main) {
@@ -276,6 +302,11 @@ void Process::charge_call() {
     sp_.advance(world_.config().call_overhead);
 }
 
+void Process::compute(sim::Duration d) {
+    NBE_TRACE_SPAN(&world_.tracer(), rank_, "app", "compute");
+    sp_.advance(d);
+}
+
 Request Process::isend(const void* buf, std::size_t n, Rank dst, int tag) {
     MpiSection sec(*this);
     charge_call();
@@ -291,6 +322,7 @@ Request Process::irecv(void* buf, std::size_t cap, Rank src, int tag,
 
 void Process::send(const void* buf, std::size_t n, Rank dst, int tag) {
     MpiSection sec(*this);
+    NBE_TRACE_SPAN(&world_.tracer(), rank_, "rt", "send");
     charge_call();
     Request r = world_.isend(rank_, buf, n, dst, tag);
     r.wait(sp_);
@@ -299,6 +331,7 @@ void Process::send(const void* buf, std::size_t n, Rank dst, int tag) {
 void Process::recv(void* buf, std::size_t cap, Rank src, int tag,
                    std::size_t* got) {
     MpiSection sec(*this);
+    NBE_TRACE_SPAN(&world_.tracer(), rank_, "rt", "recv");
     charge_call();
     Request r = world_.irecv(rank_, buf, cap, src, tag, got);
     r.wait(sp_);
@@ -306,6 +339,7 @@ void Process::recv(void* buf, std::size_t cap, Rank src, int tag,
 
 void Process::barrier() {
     MpiSection sec(*this);
+    NBE_TRACE_SPAN(&world_.tracer(), rank_, "rt", "barrier");
     charge_call();
     const int n = size();
     if (n == 1) return;

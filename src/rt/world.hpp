@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "obs/obs.hpp"
 #include "rt/config.hpp"
 #include "rt/request.hpp"
 #include "sim/engine.hpp"
@@ -53,6 +54,8 @@ public:
 
     [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
     [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+    [[nodiscard]] obs::Obs& obs() noexcept { return obs_; }
+    [[nodiscard]] obs::Tracer& tracer() noexcept { return obs_.tracer(); }
     [[nodiscard]] const JobConfig& config() const noexcept { return cfg_; }
     [[nodiscard]] int nranks() const noexcept { return cfg_.ranks; }
 
@@ -143,6 +146,7 @@ private:
 
     JobConfig cfg_;
     sim::Engine engine_;
+    obs::Obs obs_;  // before fabric_: the fabric holds a pointer into it
     net::Fabric fabric_;
     std::vector<std::unique_ptr<RankCtx>> ctxs_;
     std::vector<std::function<void(Rank, Rank)>> link_down_subs_;
@@ -160,7 +164,7 @@ public:
     [[nodiscard]] double now_us() const noexcept { return sim::to_usec(sp_.now()); }
 
     /// Perform `d` of application computation (not counted as MPI time).
-    void compute(sim::Duration d) { sp_.advance(d); }
+    void compute(sim::Duration d);
 
     /// Deterministic per-rank random stream.
     [[nodiscard]] sim::Xoshiro256& rng() { return world_.rng(rank_); }

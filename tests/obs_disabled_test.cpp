@@ -1,0 +1,52 @@
+// Compiled with NBE_OBS_ENABLED=0 (see tests/CMakeLists.txt): proves the
+// NBE_TRACE_SPAN hook compiles out entirely, so builds that must guarantee
+// zero tracing overhead can define the macro away without touching call
+// sites.
+#include <gtest/gtest.h>
+
+#include "core/window.hpp"
+#include "obs/trace.hpp"
+
+static_assert(NBE_OBS_ENABLED == 0,
+              "this test must be built with NBE_OBS_ENABLED=0");
+
+using namespace nbe;
+
+namespace {
+
+int span_macro_evaluations = 0;
+
+[[maybe_unused]] obs::Tracer* count_and_return_null() {
+    ++span_macro_evaluations;
+    return nullptr;
+}
+
+}  // namespace
+
+TEST(ObsDisabled, SpanMacroCompilesOut) {
+    {
+        // With NBE_OBS_ENABLED=0 the macro expands to an empty statement:
+        // its arguments are never evaluated.
+        NBE_TRACE_SPAN(count_and_return_null(), 0, "test", "span");
+    }
+    EXPECT_EQ(span_macro_evaluations, 0);
+}
+
+TEST(ObsDisabled, RuntimePathsStillWork) {
+    // The runtime-disabled path (cfg.obs all off) must behave identically
+    // in this build: jobs run, no events are recorded.
+    JobConfig cfg;
+    cfg.ranks = 2;
+    Job job(cfg);
+    job.run([](Proc& p) {
+        Window win = p.create_window(256);
+        win.fence();
+        if (p.rank() == 0) {
+            std::byte b{1};
+            win.put(&b, 1, 1, 0);
+        }
+        win.fence();
+    });
+    EXPECT_TRUE(job.world().obs().tracer().events().empty());
+    EXPECT_GT(job.rma().stats(0).epochs_completed, 0u);
+}

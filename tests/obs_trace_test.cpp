@@ -1,0 +1,171 @@
+// Tracer tests: the golden late-post trace (byte-identical across runs,
+// expected span ordering with the stall visible), Chrome JSON structure,
+// the deadlock-report ring buffer, and the disabled-path guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/window.hpp"
+#include "sim/engine.hpp"
+
+using namespace nbe;
+using nbe::obs::TraceEvent;
+
+namespace {
+
+constexpr sim::Duration kDelay = sim::microseconds(1000);
+
+/// Canned late-post scenario: the target posts its exposure epoch 1000 us
+/// late, so the origin's transfer cannot issue until the post arrives.
+JobConfig late_post_config(bool trace) {
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.fabric.ranks_per_node = 1;
+    cfg.obs.trace = trace;
+    return cfg;
+}
+
+struct TraceRun {
+    std::string json;
+    std::vector<TraceEvent> events;
+};
+
+TraceRun run_late_post(bool trace = true) {
+    TraceRun out;
+    Job job(late_post_config(trace));
+    job.run([](Proc& p) {
+        Window win = p.create_window(1 << 20);
+        const Rank kTarget = 0;
+        const Rank kOrigin = 1;
+        if (p.rank() == kTarget) {
+            p.compute(kDelay);  // the late post
+            win.post(std::array<Rank, 1>{kOrigin});
+            win.wait_exposure();
+        } else {
+            std::vector<std::byte> buf(1 << 20, std::byte{7});
+            win.start(std::array<Rank, 1>{kTarget});
+            win.put(buf.data(), buf.size(), kTarget, 0);
+            win.complete();
+        }
+    });
+    std::ostringstream os;
+    job.world().obs().tracer().write_chrome_json(os);
+    out.json = os.str();
+    out.events = job.world().obs().tracer().events();
+    return out;
+}
+
+const TraceEvent* find_event(const std::vector<TraceEvent>& evs,
+                             const std::string& name, int rank = -1) {
+    for (const auto& e : evs) {
+        if (name == e.name && (rank < 0 || rank == e.rank)) return &e;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+TEST(ObsTrace, GoldenLatePostByteIdentical) {
+    const TraceRun a = run_late_post();
+    const TraceRun b = run_late_post();
+    ASSERT_FALSE(a.json.empty());
+    EXPECT_EQ(a.json, b.json);
+}
+
+TEST(ObsTrace, LatePostSpanOrdering) {
+    const TraceRun run = run_late_post();
+    const auto& evs = run.events;
+
+    // The origin opens its access epoch before the target posts...
+    const TraceEvent* start = find_event(evs, "start", 1);
+    const TraceEvent* post = find_event(evs, "post", 0);
+    ASSERT_NE(start, nullptr);
+    ASSERT_NE(post, nullptr);
+    EXPECT_LT(start->ts, post->ts);
+    // ...by (at least) the injected 1000 us delay: the late-post stall.
+    EXPECT_GE(post->ts - start->ts, kDelay);
+
+    // The transfer issues only after the post: the gap between the origin's
+    // epoch opening and its op.transfer span IS the stall in the timeline.
+    const TraceEvent* transfer = find_event(evs, "op.transfer", 1);
+    ASSERT_NE(transfer, nullptr);
+    EXPECT_TRUE(transfer->is_span());
+    EXPECT_GE(transfer->ts, post->ts);
+
+    // The deferred-epoch span covers open -> activation on the origin.
+    const TraceEvent* deferred = find_event(evs, "epoch.deferred", 1);
+    if (deferred != nullptr) {  // present unless activation was immediate
+        EXPECT_TRUE(deferred->is_span());
+        EXPECT_LE(deferred->ts, post->ts);
+    }
+
+    // Epoch spans close out on both sides; the target's exposure epoch
+    // cannot complete before the origin's done notification.
+    const TraceEvent* exposure = find_event(evs, "epoch.exposure", 0);
+    const TraceEvent* access = find_event(evs, "epoch.access", 1);
+    ASSERT_NE(exposure, nullptr);
+    ASSERT_NE(access, nullptr);
+    EXPECT_TRUE(exposure->is_span());
+    EXPECT_TRUE(access->is_span());
+    EXPECT_GE(exposure->ts + exposure->dur, access->ts + access->dur);
+
+    // The target's compute span is the app-side view of the same stall.
+    const TraceEvent* compute = find_event(evs, "compute", 0);
+    ASSERT_NE(compute, nullptr);
+    EXPECT_EQ(compute->dur, kDelay);
+
+    // Fabric events tie the timeline to the wire.
+    EXPECT_NE(find_event(evs, "pkt.tx"), nullptr);
+    EXPECT_NE(find_event(evs, "pkt.rx"), nullptr);
+}
+
+TEST(ObsTrace, ChromeJsonShape) {
+    const TraceRun run = run_late_post();
+    const std::string& j = run.json;
+    EXPECT_EQ(j.rfind("{\"displayTimeUnit\":", 0), 0u) << j.substr(0, 80);
+    EXPECT_NE(j.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"M\""), std::string::npos);  // metadata
+    EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);  // spans
+    EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);  // instants
+    EXPECT_NE(j.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"post\""), std::string::npos);
+    // Balanced and newline-terminated (jq-parsable; ci_trace_check.sh
+    // validates against the real schema).
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(j.back(), '\n');
+}
+
+TEST(ObsTrace, DisabledTracerRecordsNothing) {
+    const TraceRun run = run_late_post(/*trace=*/false);
+    EXPECT_TRUE(run.events.empty());
+    EXPECT_TRUE(run.json.find("\"ph\":\"X\"") == std::string::npos);
+}
+
+TEST(ObsTrace, DeadlockReportIncludesRecentEvents) {
+    JobConfig cfg = late_post_config(/*trace=*/true);
+    try {
+        Job job(cfg);
+        job.run([](Proc& p) {
+            Window win = p.create_window(1024);
+            if (p.rank() == 0) {
+                // Posts toward rank 1 and waits; rank 1 never opens the
+                // matching access epoch -> guaranteed deadlock.
+                win.post(std::array<Rank, 1>{1});
+                win.wait_exposure();
+            }
+        });
+        FAIL() << "expected DeadlockError";
+    } catch (const sim::DeadlockError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("-- recent events --"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("post"), std::string::npos) << msg;
+        // The structured rma section is still rendered alongside the ring.
+        EXPECT_NE(msg.find("-- rma open epochs --"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("kind=exposure"), std::string::npos) << msg;
+    }
+}

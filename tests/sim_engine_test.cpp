@@ -6,7 +6,6 @@
 
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
-#include "sim/stats.hpp"
 #include "sim/time.hpp"
 
 namespace sim = nbe::sim;
@@ -254,23 +253,8 @@ TEST(Rng, BelowIsRoughlyUniform) {
     }
 }
 
-TEST(Stats, AccumulatorBasics) {
-    sim::Accumulator acc;
-    for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
-    EXPECT_EQ(acc.count(), 4u);
-    EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
-    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
-    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
-    EXPECT_NEAR(acc.stddev(), 1.2909944, 1e-6);
-}
-
-TEST(Stats, EmptyAccumulatorIsSafe) {
-    sim::Accumulator acc;
-    EXPECT_EQ(acc.count(), 0u);
-    EXPECT_EQ(acc.min(), 0.0);
-    EXPECT_EQ(acc.max(), 0.0);
-    EXPECT_EQ(acc.variance(), 0.0);
-}
+// The Welford accumulator moved into obs::Histogram; its semantics are
+// covered by obs_metrics_test.
 
 TEST(Engine, DeterministicEventCountAcrossRuns) {
     auto run_once = [] {
