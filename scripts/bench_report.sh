@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Produces a single machine-readable benchmark report (BENCH_pr3.json by
+# default) from a Release build. The report keeps two strictly separated
+# sections:
+#
+#   deterministic — values that must be byte-identical on every host,
+#     every scheduler backend, and every rerun:
+#       * sha256 of each figure bench's stdout (the virtual-time tables),
+#       * the scale_ranks "deterministic" JSON section verbatim.
+#     Diffing this section against a checked-in report is a regression
+#     test; any change means simulated results moved.
+#
+#   wall_clock — values that describe this host only and are expected to
+#     vary run-to-run:
+#       * google-benchmark results for micro_engine (JSON format),
+#       * the scale_ranks "wall_clock" JSON section,
+#       * per-figure-bench wall seconds.
+#
+# Usage: scripts/bench_report.sh [output.json] [build-dir]
+#   output.json  report path                    (default: BENCH_pr3.json)
+#   build-dir    out-of-tree Release build dir  (default: build-bench)
+#
+# Heavier knobs (env): NBE_BENCH_RANKS (default 64,128,256),
+# NBE_BENCH_LU_M (default 256) feed scale_ranks. The committed
+# BENCH_pr3.json was generated with the defaults.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out_json="${1:-${repo_root}/BENCH_pr3.json}"
+build_dir="${2:-${repo_root}/build-bench}"
+ranks="${NBE_BENCH_RANKS:-64,128,256}"
+lu_m="${NBE_BENCH_LU_M:-256}"
+
+command -v jq >/dev/null || { echo "bench_report: jq not found" >&2; exit 1; }
+
+cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j"$(nproc)" --target \
+  fig02_late_post fig03_late_complete fig04_early_fence fig05_wait_at_fence \
+  fig06_late_unlock fig07_11_flags fig12_transactions \
+  micro_latency micro_overlap micro_engine scale_ranks
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+# --- Figure benches: stdout is pure virtual-time output, so its hash is a
+# --- deterministic fingerprint; the elapsed seconds go to wall_clock.
+figs=(fig02_late_post fig03_late_complete fig04_early_fence
+      fig05_wait_at_fence fig06_late_unlock fig07_11_flags
+      fig12_transactions micro_latency micro_overlap)
+fig_det="${tmp}/fig_det.json"
+fig_wall="${tmp}/fig_wall.json"
+echo '{}' >"${fig_det}"
+echo '{}' >"${fig_wall}"
+for b in "${figs[@]}"; do
+  t0=$(date +%s.%N)
+  "${build_dir}/bench/${b}" >"${tmp}/${b}.out"
+  t1=$(date +%s.%N)
+  sha="$(sha256sum "${tmp}/${b}.out" | cut -d' ' -f1)"
+  secs="$(echo "${t1} ${t0}" | awk '{printf "%.3f", $1 - $2}')"
+  jq --arg b "${b}" --arg h "${sha}" '. + {($b): {stdout_sha256: $h}}' \
+    "${fig_det}" >"${fig_det}.n" && mv "${fig_det}.n" "${fig_det}"
+  jq --arg b "${b}" --argjson s "${secs}" '. + {($b): {seconds: $s}}' \
+    "${fig_wall}" >"${fig_wall}.n" && mv "${fig_wall}.n" "${fig_wall}"
+  echo "bench_report: ${b} sha=${sha:0:12} wall=${secs}s"
+done
+
+# --- Rank scaling sweep (already splits deterministic vs wall_clock).
+"${build_dir}/bench/scale_ranks" --ranks="${ranks}" --lu-m="${lu_m}" \
+  --json="${tmp}/scale.json" >/dev/null
+echo "bench_report: scale_ranks done (ranks=${ranks})"
+
+# --- Scheduler microbenchmarks: wall-clock by nature. Strip the context
+# --- block's date/load fields so reruns only differ where timings differ.
+"${build_dir}/bench/micro_engine" --benchmark_format=json \
+  >"${tmp}/micro_engine.json" 2>/dev/null
+jq '{context: (.context | del(.date, .load_avg)),
+     benchmarks: [.benchmarks[] |
+       {name, iterations, real_time, cpu_time, time_unit,
+        items_per_second: (.items_per_second // null)}]}' \
+  "${tmp}/micro_engine.json" >"${tmp}/micro_engine.trim.json"
+echo "bench_report: micro_engine done"
+
+# --- Assemble. Keys are sorted (-S) so the deterministic section diffs
+# --- cleanly across regenerations.
+jq -S -n \
+  --slurpfile scale "${tmp}/scale.json" \
+  --slurpfile figdet "${fig_det}" \
+  --slurpfile figwall "${fig_wall}" \
+  --slurpfile micro "${tmp}/micro_engine.trim.json" \
+  --arg ranks "${ranks}" --arg lu_m "${lu_m}" \
+  '{
+     report: "nbe bench report (PR 3)",
+     params: {scale_ranks_ranks: $ranks, scale_ranks_lu_m: $lu_m},
+     deterministic: {
+       figure_benches: $figdet[0],
+       scale_ranks: $scale[0].deterministic
+     },
+     wall_clock: {
+       figure_benches: $figwall[0],
+       scale_ranks: $scale[0].wall_clock,
+       micro_engine: $micro[0]
+     }
+   }' >"${out_json}"
+
+echo "bench_report: wrote ${out_json}"
+echo "bench_report: deterministic fingerprint:"
+jq -S '.deterministic' "${out_json}" | sha256sum

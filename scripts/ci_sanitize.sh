@@ -22,4 +22,10 @@ cmake --build "${build_dir}" -j"$(nproc)"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
+# Sanitizers instrument the native stack and don't understand hand-rolled
+# fiber context switches (fake-stack bookkeeping, shadow-memory mapping of
+# mmap'd fiber stacks). Pin the simulator to the thread backend here; the
+# plain CI build exercises fibers.
+export NBE_SIM_BACKEND=threads
+
 ctest --test-dir "${build_dir}" -j"$(nproc)" --output-on-failure

@@ -2,9 +2,11 @@
 # Builds the bench tree, runs one figure bench with --trace/--metrics, and
 # validates the exported files: the trace JSON against the checked-in
 # structural schema (scripts/trace_schema.jq), the metrics snapshot for
-# basic shape, and both for byte-determinism across two identical runs —
-# the property that makes simulated traces diffable. Run alongside
-# scripts/ci_sanitize.sh in CI.
+# basic shape, both for byte-determinism across two identical runs — the
+# property that makes simulated traces diffable — and for byte-equivalence
+# between the fiber and thread scheduler backends (the fiber backend must
+# not perturb virtual-time results). Run alongside scripts/ci_sanitize.sh
+# in CI.
 #
 # Usage: scripts/ci_trace_check.sh [build-dir]
 #   build-dir   out-of-tree build directory  (default: build-trace)
@@ -21,14 +23,16 @@ cmake --build "${build_dir}" -j"$(nproc)" --target fig02_late_post
 out_dir="$(mktemp -d)"
 trap 'rm -rf "${out_dir}"' EXIT
 
-run_bench() {  # run_bench <tag>
-  "${build_dir}/bench/fig02_late_post" \
+run_bench() {  # run_bench <tag> [backend]
+  NBE_SIM_BACKEND="${2:-}" "${build_dir}/bench/fig02_late_post" \
     --trace="${out_dir}/$1-trace.json" \
     --metrics="${out_dir}/$1-metrics.json" >/dev/null
 }
 
 run_bench a
 run_bench b
+run_bench fib fibers
+run_bench thr threads
 
 # fig02 runs one job per mode; every exported file must validate.
 for f in "${out_dir}"/a-trace*.json; do
@@ -50,4 +54,12 @@ for f in "${out_dir}"/a-*.json; do
     || { echo "ci_trace_check: nondeterministic output: $f vs $g" >&2; exit 1; }
 done
 
-echo "ci_trace_check: OK ($(ls "${out_dir}"/a-trace*.json | wc -l) traces validated)"
+# The scheduler backend is a pure execution-strategy choice: fiber and
+# thread runs of the same job must export byte-identical traces/metrics.
+for f in "${out_dir}"/fib-*.json; do
+  g="${out_dir}/thr-${f##*/fib-}"
+  cmp -s "$f" "$g" \
+    || { echo "ci_trace_check: backend divergence: $f vs $g" >&2; exit 1; }
+done
+
+echo "ci_trace_check: OK ($(ls "${out_dir}"/a-trace*.json | wc -l) traces validated, backends equivalent)"

@@ -8,11 +8,12 @@
 // on activation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "core/types.hpp"
@@ -51,6 +52,79 @@ struct RmaOp {
 
 using OpPtr = std::shared_ptr<RmaOp>;
 
+/// Sorted flat-vector map keyed by Rank. An epoch's peer set is fixed for
+/// its whole lifetime, so the map is built once at open_epoch from the
+/// already-sorted group and never restructured: lookups are cache-friendly
+/// binary searches over contiguous pairs instead of red-black-tree walks,
+/// and iteration visits ranks in the same ascending order std::map did
+/// (which protocol-level send loops rely on for deterministic traces).
+template <typename V>
+class PeerMap {
+public:
+    using value_type = std::pair<Rank, V>;
+    using iterator = typename std::vector<value_type>::iterator;
+    using const_iterator = typename std::vector<value_type>::const_iterator;
+
+    /// Rebuilds the map with default-constructed values for `sorted_peers`
+    /// (ascending, duplicate-free — open_epoch sorts the group once).
+    void build(const std::vector<Rank>& sorted_peers) {
+        entries_.clear();
+        entries_.reserve(sorted_peers.size());
+        for (Rank r : sorted_peers) entries_.emplace_back(r, V{});
+    }
+
+    [[nodiscard]] iterator find(Rank r) noexcept {
+        auto it = lower_bound(r);
+        return (it != entries_.end() && it->first == r) ? it : entries_.end();
+    }
+    [[nodiscard]] const_iterator find(Rank r) const noexcept {
+        auto it = lower_bound(r);
+        return (it != entries_.end() && it->first == r) ? it : entries_.end();
+    }
+
+    [[nodiscard]] V& at(Rank r) {
+        auto it = find(r);
+        if (it == entries_.end()) throw std::out_of_range("PeerMap::at");
+        return it->second;
+    }
+    [[nodiscard]] const V& at(Rank r) const {
+        auto it = find(r);
+        if (it == entries_.end()) throw std::out_of_range("PeerMap::at");
+        return it->second;
+    }
+
+    /// Inserts a default value if `r` is absent (kept for map drop-in
+    /// compatibility; pre-built maps always hit the find path).
+    V& operator[](Rank r) {
+        auto it = lower_bound(r);
+        if (it == entries_.end() || it->first != r) {
+            it = entries_.emplace(it, r, V{});
+        }
+        return it->second;
+    }
+
+    [[nodiscard]] iterator begin() noexcept { return entries_.begin(); }
+    [[nodiscard]] iterator end() noexcept { return entries_.end(); }
+    [[nodiscard]] const_iterator begin() const noexcept { return entries_.begin(); }
+    [[nodiscard]] const_iterator end() const noexcept { return entries_.end(); }
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+private:
+    [[nodiscard]] iterator lower_bound(Rank r) noexcept {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), r,
+            [](const value_type& e, Rank key) { return e.first < key; });
+    }
+    [[nodiscard]] const_iterator lower_bound(Rank r) const noexcept {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), r,
+            [](const value_type& e, Rank key) { return e.first < key; });
+    }
+
+    std::vector<value_type> entries_;
+};
+
 /// Per-peer progress state inside an epoch.
 struct PeerState {
     std::uint64_t access_id = 0;  ///< A_i toward this peer (origin side).
@@ -60,6 +134,11 @@ struct PeerState {
     bool done_sent = false;        ///< Access/fence completion notification.
     bool unlock_sent = false;      ///< Lock epochs.
     bool unlock_acked = false;
+    /// This peer's slice of Epoch::ops in record order, plus the issue
+    /// cursor into it: a grant from the peer issues exactly this backlog
+    /// without rescanning the whole epoch (targeted drive).
+    std::vector<OpPtr> pending;
+    std::size_t issue_cursor = 0;
 };
 
 /// An epoch object. Created inactive ("deferred"); the progress engine
@@ -82,10 +161,20 @@ struct Epoch {
     bool flush_forced = false;
 
     std::vector<Rank> peers;  ///< Group (GATS), single target (lock), or all.
-    std::map<Rank, PeerState> peer;
-    std::map<Rank, std::uint64_t> exposure_id;  ///< Exposure/fence side.
+    PeerMap<PeerState> peer;
+    PeerMap<std::uint64_t> exposure_id;  ///< Exposure/fence side.
+
+    /// Positions inside WinState::open_app / WinState::active while this
+    /// epoch is listed there (EpochList bookkeeping; kNoIdx otherwise).
+    static constexpr std::size_t kNoIdx = static_cast<std::size_t>(-1);
+    std::size_t idx_open_app = kNoIdx;
+    std::size_t idx_active = kNoIdx;
 
     std::vector<OpPtr> ops;
+    /// Number of entries in `ops` with issued == false. try_issue is called
+    /// on every grant/done/sweep that touches the epoch; once everything
+    /// has been issued it must cost O(1), not O(ops).
+    std::size_t ops_unissued = 0;
     std::shared_ptr<rt::RequestState> close_req;
 
     // Virtual-time lifecycle stamps (observability: deferral latency,
@@ -107,6 +196,120 @@ struct Epoch {
 };
 
 using EpochPtr = std::shared_ptr<Epoch>;
+
+/// Order-preserving list of epochs with O(1) erase-by-value. Each listed
+/// epoch stores its slot position through `IdxMember`; erase nulls the slot
+/// (tombstone) and the list compacts — fixing the stored indices — once
+/// tombstones outnumber live entries. Iteration skips tombstones in place,
+/// preserving insertion order, which is semantically load-bearing here:
+/// find_open/route_op search newest-first, on_unlock_ack matches the oldest
+/// pending epoch, and traces must stay byte-identical — so swap-remove
+/// (which reorders) is not an option.
+template <std::size_t Epoch::* IdxMember>
+class EpochList {
+public:
+    /// Forward iterator over live entries (const: the list does not hand
+    /// out mutable slots; mutate epochs through the shared_ptr).
+    class const_iterator {
+    public:
+        const_iterator(const std::vector<EpochPtr>* slots, std::size_t i) noexcept
+            : slots_(slots), i_(i) {
+            skip();
+        }
+        const EpochPtr& operator*() const noexcept { return (*slots_)[i_]; }
+        const EpochPtr* operator->() const noexcept { return &(*slots_)[i_]; }
+        const_iterator& operator++() noexcept {
+            ++i_;
+            skip();
+            return *this;
+        }
+        bool operator==(const const_iterator& o) const noexcept {
+            return i_ == o.i_;
+        }
+        bool operator!=(const const_iterator& o) const noexcept {
+            return i_ != o.i_;
+        }
+
+    private:
+        void skip() noexcept {
+            while (i_ < slots_->size() && (*slots_)[i_] == nullptr) ++i_;
+        }
+        const std::vector<EpochPtr>* slots_;
+        std::size_t i_;
+    };
+
+    void push_back(EpochPtr e) {
+        e.get()->*IdxMember = slots_.size();
+        slots_.push_back(std::move(e));
+    }
+
+    /// O(1): the epoch must currently be listed.
+    void erase(const EpochPtr& e) {
+        const std::size_t idx = e.get()->*IdxMember;
+        slots_[idx] = nullptr;
+        e.get()->*IdxMember = Epoch::kNoIdx;
+        ++dead_;
+        maybe_compact();
+    }
+
+    /// O(1): erase if listed; returns whether it was.
+    bool erase_if_present(const EpochPtr& e) {
+        if (e.get()->*IdxMember == Epoch::kNoIdx) return false;
+        erase(e);
+        return true;
+    }
+
+    [[nodiscard]] bool contains(const EpochPtr& e) const noexcept {
+        return e.get()->*IdxMember != Epoch::kNoIdx;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        return slots_.size() - dead_;
+    }
+    [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+    [[nodiscard]] const_iterator begin() const noexcept {
+        return const_iterator(&slots_, 0);
+    }
+    [[nodiscard]] const_iterator end() const noexcept {
+        return const_iterator(&slots_, slots_.size());
+    }
+
+    // Raw slot access for newest-first searches (slots may be null).
+    [[nodiscard]] std::size_t slot_count() const noexcept {
+        return slots_.size();
+    }
+    [[nodiscard]] const EpochPtr& slot(std::size_t i) const noexcept {
+        return slots_[i];
+    }
+
+    /// Live entries, in order — for callers that mutate the list while
+    /// walking it (drive loops that can complete/activate epochs).
+    [[nodiscard]] std::vector<EpochPtr> snapshot() const {
+        std::vector<EpochPtr> out;
+        out.reserve(size());
+        for (const auto& e : slots_) {
+            if (e != nullptr) out.push_back(e);
+        }
+        return out;
+    }
+
+private:
+    void maybe_compact() {
+        if (dead_ <= slots_.size() - dead_ || slots_.size() < 16) return;
+        std::size_t live = 0;
+        for (auto& e : slots_) {
+            if (e == nullptr) continue;
+            e.get()->*IdxMember = live;
+            slots_[live++] = std::move(e);
+        }
+        slots_.resize(live);
+        dead_ = 0;
+    }
+
+    std::vector<EpochPtr> slots_;
+    std::size_t dead_ = 0;
+};
 
 /// Tracks the set of access ids for which a done packet has been received
 /// from one peer. Ids arrive mostly in order; out-of-order ids (possible

@@ -84,7 +84,9 @@ Rma::Rma(rt::World& world)
       mode_(world.config().mode),
       wins_(static_cast<std::size_t>(world.nranks())),
       stats_(static_cast<std::size_t>(world.nranks())) {
+    all_ranks_.resize(static_cast<std::size_t>(world_.nranks()));
     for (Rank r = 0; r < world_.nranks(); ++r) {
+        all_ranks_[static_cast<std::size_t>(r)] = r;
         world_.set_rma_handler(r, [this, r](net::Packet&& p) {
             handle_packet(r, std::move(p));
         });
@@ -175,6 +177,7 @@ std::uint32_t Rma::create_window(Rank r, std::size_t bytes, const WinInfo& info)
     w->a.assign(n, 0);
     w->e.assign(n, 0);
     w->g.assign(n, 0);
+    w->lock_grants.assign(n, 0);
     w->done.assign(n, DoneTracker{});
     per_rank.push_back(std::move(w));
     return per_rank.back()->id;
@@ -204,21 +207,29 @@ std::size_t Rma::active_count(Rank r, std::uint32_t win) const {
     return ws(r, win).active.size();
 }
 std::uint64_t Rma::granted_counter(Rank r, std::uint32_t win, Rank from) const {
-    return ws(r, win).g.at(static_cast<std::size_t>(from));
+    // Exposure credits plus lock acquisitions: one increment per epoch
+    // granted by `from`, whatever its kind.
+    const WinState& w = ws(r, win);
+    return w.g.at(static_cast<std::size_t>(from)) +
+           w.lock_grants.at(static_cast<std::size_t>(from));
 }
 
 // =================================================================== epochs
 
 EpochPtr Rma::open_epoch(WinState& w, EpochKind kind, LockType lt,
                               std::vector<Rank> peers) {
-    std::sort(peers.begin(), peers.end());
+    // Fence/lock-all groups arrive pre-sorted; skip the sort for them.
+    if (!std::is_sorted(peers.begin(), peers.end())) {
+        std::sort(peers.begin(), peers.end());
+    }
     auto e = std::make_shared<Epoch>();
     e->seq = w.next_epoch_seq++;
     e->kind = kind;
     e->lock_type = lt;
     e->peers = std::move(peers);
     e->opened_at = world_.engine().now();
-    for (Rank p : e->peers) e->peer.emplace(p, PeerState{});
+    e->peer.build(e->peers);
+    if (e->exposure_side()) e->exposure_id.build(e->peers);
     if (kind == EpochKind::Fence) e->fence_seq = w.next_fence_seq++;
 
     auto& st = stats_[static_cast<std::size_t>(w.rank)];
@@ -245,6 +256,7 @@ EpochPtr Rma::open_epoch(WinState& w, EpochKind kind, LockType lt,
     w.deferred.push_back(e);
     st.max_deferred_epochs =
         std::max<std::uint64_t>(st.max_deferred_epochs, w.deferred.size());
+    notify_epoch(EpochEvent::What::Open, w, *e);
     activation_scan(w);
     if (e->phase == Epoch::Phase::Deferred) ++st.epochs_deferred_at_open;
     return e;
@@ -255,7 +267,8 @@ Request Rma::close_epoch(WinState& w, const EpochPtr& e) {
     if (e->closed_app) throw std::logic_error("epoch closed twice");
     e->closed_app = true;
     e->closed_at = world_.engine().now();
-    w.open_app.erase(std::find(w.open_app.begin(), w.open_app.end(), e));
+    w.open_app.erase(e);
+    notify_epoch(EpochEvent::What::Close, w, *e);
     if (auto* t = tracer()) {
         t->instant(w.rank, "epoch", close_event_name(e->kind),
                    {{"win", w.id}, {"seq", i64(e->seq)}});
@@ -279,6 +292,21 @@ Request Rma::close_epoch(WinState& w, const EpochPtr& e) {
         activation_scan(w);  // closing may enable lazy (MVAPICH) activation
     }
     return out;
+}
+
+void Rma::notify_epoch(EpochEvent::What what, const WinState& w,
+                       const Epoch& e) {
+    if (!epoch_observer_) return;
+    EpochEvent ev;
+    ev.what = what;
+    ev.rank = w.rank;
+    ev.win = w.id;
+    ev.seq = e.seq;
+    ev.kind = e.kind;
+    ev.origin_side = e.origin_side();
+    ev.closed_app = e.closed_app;
+    ev.flush_forced = e.flush_forced;
+    epoch_observer_(ev);
 }
 
 bool Rma::can_activate(const WinState& w, const Epoch& e) const {
@@ -330,6 +358,7 @@ void Rma::activation_scan(WinState& w) {
 
 void Rma::activate(WinState& w, const EpochPtr& e) {
     NBE_TRACE("[%ld] r%d w%u activate seq=%lu kind=%s closed=%d", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind), (int)e->closed_app);
+    notify_epoch(EpochEvent::What::Activate, w, *e);
     e->phase = Epoch::Phase::Active;
     e->activated_at = world_.engine().now();
     if (h_deferral_ != nullptr) {
@@ -367,13 +396,17 @@ void Rma::activate(WinState& w, const EpochPtr& e) {
             break;
         case EpochKind::Lock:
         case EpochKind::LockAll:
+            // Locks do not touch the ⟨a,e,g⟩ exposure counters at all:
+            // acquisition always goes through the target's lock manager
+            // and comes back as kLockGrant. Sharing the counters with
+            // fence/GATS exposures let an overlapping lock be "granted"
+            // by a stray exposure credit — bypassing mutual exclusion,
+            // sending a phantom unlock that corrupted the lock manager,
+            // and starving the epoch the credit was actually meant for.
             for (auto& [t, ps] : e->peer) {
-                ps.access_id = ++w.a[static_cast<std::size_t>(t)];
-                ps.granted = ps.access_id <= w.g[static_cast<std::size_t>(t)];
-                if (!ps.granted) {
-                    send_control(w.rank, t, kLockReq, w.id,
-                                 static_cast<std::uint64_t>(e->lock_type));
-                }
+                ps.granted = false;
+                send_control(w.rank, t, kLockReq, w.id,
+                             static_cast<std::uint64_t>(e->lock_type));
             }
             break;
         case EpochKind::Fence:
@@ -426,9 +459,10 @@ bool Rma::may_issue_op(const WinState& w, const Epoch& e,
 }
 
 void Rma::try_issue(WinState& w, const EpochPtr& e) {
+    if (e->ops_unissued == 0) return;
     // New-engine optimization (§VIII-B): internode transfers are issued
     // before intranode ones so the two channels overlap.
-    for (int pass = 0; pass < 2; ++pass) {
+    for (int pass = 0; pass < 2 && e->ops_unissued > 0; ++pass) {
         for (auto& op : e->ops) {
             if (op->issued) continue;
             const bool intra = world_.fabric().same_node(w.rank, op->target);
@@ -436,6 +470,24 @@ void Rma::try_issue(WinState& w, const EpochPtr& e) {
             if (!may_issue_op(w, *e, *op)) continue;
             issue_op(w, e, op);
         }
+    }
+}
+
+void Rma::try_issue_target(WinState& w, const EpochPtr& e, Rank t) {
+    // Single-target slice of try_issue: all of one peer's ops share the
+    // same intra/internode classification, so the two-pass channel order
+    // collapses to plain record order here.
+    if (e->ops_unissued == 0) return;
+    const auto it = e->peer.find(t);
+    if (it == e->peer.end()) return;
+    PeerState& ps = it->second;
+    while (ps.issue_cursor < ps.pending.size()) {
+        const OpPtr& op = ps.pending[ps.issue_cursor];
+        if (!op->issued) {
+            if (!may_issue_op(w, *e, *op)) break;
+            issue_op(w, e, op);
+        }
+        ++ps.issue_cursor;
     }
 }
 
@@ -477,39 +529,60 @@ bool Rma::completion_conditions_met(const WinState& w, const Epoch& e) const {
     return false;
 }
 
-void Rma::drive_epoch(WinState& w, EpochPtr e) {  // NOLINT: by value — callers may pass references into containers this function mutates
-    if (e->phase != Epoch::Phase::Active) return;
-    try_issue(w, e);
-    if (e->closed_app) {
-        for (auto& [t, ps] : e->peer) {
-            if (ps.ops_done != ps.ops_total) continue;
-            switch (e->kind) {
-                case EpochKind::Access:
-                    // The origin-side close waits for the matching exposure:
-                    // Late Post can still be incurred at MPI_WIN_COMPLETE.
-                    if (ps.granted && !ps.done_sent) {
-                        ps.done_sent = true;
-                        ++stats_[static_cast<std::size_t>(w.rank)].dones_sent;
-                        send_control(w.rank, t, kDone, w.id, ps.access_id);
-                    }
-                    break;
-                case EpochKind::Fence:
-                    if (!ps.done_sent) {
-                        ps.done_sent = true;
-                        ++stats_[static_cast<std::size_t>(w.rank)].dones_sent;
-                        send_control(w.rank, t, kFenceDone, w.id, e->fence_seq);
-                    }
-                    break;
-                case EpochKind::Lock:
-                case EpochKind::LockAll:
-                    if (ps.granted && !ps.unlock_sent) {
-                        ps.unlock_sent = true;
-                        send_control(w.rank, t, kUnlock, w.id, 0);
-                    }
-                    break;
-                case EpochKind::Exposure:
-                    break;
+void Rma::close_notify_peer(WinState& w, Epoch& e, Rank t, PeerState& ps) {
+    if (ps.ops_done != ps.ops_total) return;
+    switch (e.kind) {
+        case EpochKind::Access:
+            // The origin-side close waits for the matching exposure:
+            // Late Post can still be incurred at MPI_WIN_COMPLETE.
+            if (ps.granted && !ps.done_sent) {
+                ps.done_sent = true;
+                ++stats_[static_cast<std::size_t>(w.rank)].dones_sent;
+                send_control(w.rank, t, kDone, w.id, ps.access_id);
             }
+            break;
+        case EpochKind::Fence:
+            if (!ps.done_sent) {
+                ps.done_sent = true;
+                ++stats_[static_cast<std::size_t>(w.rank)].dones_sent;
+                send_control(w.rank, t, kFenceDone, w.id, e.fence_seq);
+            }
+            break;
+        case EpochKind::Lock:
+        case EpochKind::LockAll:
+            if (ps.granted && !ps.unlock_sent) {
+                ps.unlock_sent = true;
+                send_control(w.rank, t, kUnlock, w.id, 0);
+            }
+            break;
+        case EpochKind::Exposure:
+            break;
+    }
+}
+
+void Rma::drive_epoch(WinState& w, EpochPtr e, Rank touched) {  // NOLINT: by value — callers may pass references into containers this function mutates
+    if (e->phase != Epoch::Phase::Active) return;
+    if (touched >= 0) {
+        // Targeted drive: the triggering event (a grant from `touched`, or
+        // an op toward `touched` completing) can only change what is
+        // issuable/notifiable toward that one peer. Between events every
+        // granted peer's backlog is fully issued (record_op issues eagerly
+        // once active+granted), so the full scan would find work toward
+        // `touched` only; issuing its backlog in record order produces the
+        // identical packet sequence. The exception is MVAPICH lazy mode,
+        // where a grant can make the whole deferred batch ready — callers
+        // there fall back to touched = -1.
+        try_issue_target(w, e, touched);
+        if (e->closed_app) {
+            const auto it = e->peer.find(touched);
+            if (it != e->peer.end()) {
+                close_notify_peer(w, *e, it->first, it->second);
+            }
+        }
+    } else {
+        try_issue(w, e);
+        if (e->closed_app) {
+            for (auto& [t, ps] : e->peer) close_notify_peer(w, *e, t, ps);
         }
     }
     if (completion_conditions_met(w, *e)) complete_epoch(w, e);
@@ -517,9 +590,10 @@ void Rma::drive_epoch(WinState& w, EpochPtr e) {  // NOLINT: by value — caller
 
 void Rma::complete_epoch(WinState& w, EpochPtr e) {  // NOLINT: by value — erases e from w.active, which would dangle a reference into it
     NBE_TRACE("[%ld] r%d w%u complete seq=%lu kind=%s", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind));
+    notify_epoch(EpochEvent::What::Complete, w, *e);
     e->phase = Epoch::Phase::Completed;
     ++stats_[static_cast<std::size_t>(w.rank)].epochs_completed;
-    w.active.erase(std::find(w.active.begin(), w.active.end(), e));
+    w.active.erase(e);
     const sim::Time now = world_.engine().now();
     if (h_active_ != nullptr) {
         h_active_->observe(static_cast<double>(now - e->activated_at));
@@ -559,29 +633,33 @@ void Rma::complete_epoch(WinState& w, EpochPtr e) {  // NOLINT: by value — era
 }
 
 EpochPtr Rma::find_open(WinState& w, EpochKind kind, Rank target) {
-    for (auto it = w.open_app.rbegin(); it != w.open_app.rend(); ++it) {
-        if ((*it)->kind != kind) continue;
-        if (target >= 0 && (*it)->peers.size() == 1 && (*it)->peers[0] != target) {
+    // Newest-first over raw slots (erased entries are null tombstones).
+    for (std::size_t i = w.open_app.slot_count(); i-- > 0;) {
+        const EpochPtr& e = w.open_app.slot(i);
+        if (!e || e->kind != kind) continue;
+        if (target >= 0 && e->peers.size() == 1 && e->peers[0] != target) {
             continue;
         }
-        return *it;
+        return e;
     }
     return nullptr;
 }
 
 EpochPtr Rma::route_op(WinState& w, Rank target) {
-    for (auto it = w.open_app.rbegin(); it != w.open_app.rend(); ++it) {
-        Epoch& e = **it;
+    for (std::size_t i = w.open_app.slot_count(); i-- > 0;) {
+        const EpochPtr& ep = w.open_app.slot(i);
+        if (!ep) continue;
+        Epoch& e = *ep;
         switch (e.kind) {
             case EpochKind::Lock:
-                if (e.peers[0] == target) return *it;
+                if (e.peers[0] == target) return ep;
                 break;
             case EpochKind::LockAll:
             case EpochKind::Fence:
-                return *it;
+                return ep;
             case EpochKind::Access:
                 if (std::binary_search(e.peers.begin(), e.peers.end(), target)) {
-                    return *it;
+                    return ep;
                 }
                 break;
             case EpochKind::Exposure:
@@ -650,10 +728,10 @@ Request Rma::ifence(Rank r, std::uint32_t win, unsigned asserts) {
             // Vacuous close: no barrier exchange.
             prev->closed_app = true;
             prev->close_req = rt::RequestState::completed();
-            w.open_app.erase(std::find(w.open_app.begin(), w.open_app.end(), prev));
+            w.open_app.erase(prev);
             if (prev->phase == Epoch::Phase::Active) {
                 prev->phase = Epoch::Phase::Completed;
-                w.active.erase(std::find(w.active.begin(), w.active.end(), prev));
+                w.active.erase(prev);
                 activation_scan(w);
             } else {
                 auto it = std::find(w.deferred.begin(), w.deferred.end(), prev);
@@ -665,9 +743,8 @@ Request Rma::ifence(Rank r, std::uint32_t win, unsigned asserts) {
         }
     }
     if (!(asserts & kNoSucceed)) {
-        std::vector<Rank> all(static_cast<std::size_t>(world_.nranks()));
-        for (int i = 0; i < world_.nranks(); ++i) all[static_cast<std::size_t>(i)] = i;
-        open_epoch(w, EpochKind::Fence, LockType::Shared, std::move(all));
+        // all_ranks_ is pre-sorted; the copy is one reserved allocation.
+        open_epoch(w, EpochKind::Fence, LockType::Shared, all_ranks_);
     }
     return close_request;
 }
@@ -693,9 +770,7 @@ Request Rma::ilock_all(Rank r, std::uint32_t win) {
     if (find_open(w, EpochKind::LockAll)) {
         throw std::logic_error("ilock_all: lock_all epoch already open");
     }
-    std::vector<Rank> all(static_cast<std::size_t>(world_.nranks()));
-    for (int i = 0; i < world_.nranks(); ++i) all[static_cast<std::size_t>(i)] = i;
-    open_epoch(w, EpochKind::LockAll, LockType::Shared, std::move(all));
+    open_epoch(w, EpochKind::LockAll, LockType::Shared, all_ranks_);
     return Request(rt::RequestState::completed());
 }
 
@@ -710,7 +785,7 @@ Request Rma::iflush(Rank r, std::uint32_t win, Rank target, bool local_only) {
     WinState& w = ws(r, win);
     // Flush applies to the currently open passive-target epoch(s).
     std::vector<EpochPtr> scope;
-    for (auto& e : w.open_app) {
+    for (const auto& e : w.open_app) {
         if (e->kind == EpochKind::LockAll ||
             (e->kind == EpochKind::Lock &&
              (target < 0 || e->peers[0] == target))) {
@@ -811,10 +886,12 @@ Request Rma::post_op(Rank r, std::uint32_t win, OpKind kind, Rank target,
 void Rma::record_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
     op->posted_at = world_.engine().now();
     e->ops.push_back(op);
+    ++e->ops_unissued;
     e->has_ops = true;
-    ++e->peer.at(op->target).ops_total;
-    op->mvapich_eager = e->phase == Epoch::Phase::Active &&
-                        e->peer.at(op->target).granted;
+    auto& ps = e->peer.at(op->target);
+    ++ps.ops_total;
+    ps.pending.push_back(op);
+    op->mvapich_eager = e->phase == Epoch::Phase::Active && ps.granted;
     if (e->phase == Epoch::Phase::Active && may_issue_op(w, *e, *op)) {
         issue_op(w, e, op);
     }
@@ -823,6 +900,7 @@ void Rma::record_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
 void Rma::issue_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
     NBE_TRACE("[%ld] r%d w%u issue op id=%lu kind=%d tgt=%d seq=%lu", (long)world_.engine().now(), w.rank, w.id, (unsigned long)op->id, (int)op->kind, op->target, (unsigned long)e->seq);
     op->issued = true;
+    --e->ops_unissued;
     op->issued_at = world_.engine().now();
     if (h_op_queue_ != nullptr) {
         h_op_queue_->observe(static_cast<double>(op->issued_at - op->posted_at));
@@ -925,7 +1003,10 @@ void Rma::on_op_remote_complete(WinState& w, const EpochPtr& e, const OpPtr& op)
     ++e->peer.at(op->target).ops_done;
     note_op_completion_for_flushes(w, *op, /*local_event=*/false);
     if (op->op_req) op->op_req->complete(world_.engine());
-    drive_epoch(w, e);
+    // Op completion only moves this target's ops_done; issuability toward
+    // every peer is unchanged (it depends on grants alone), so a targeted
+    // drive is exact in all modes here.
+    drive_epoch(w, e, op->target);
 }
 
 void Rma::note_op_completion_for_flushes(WinState& w, const RmaOp& op,
@@ -950,6 +1031,10 @@ void Rma::send_grant(WinState& w, Rank to, std::uint64_t value) {
     send_control(w.rank, to, kGrant, w.id, value);
 }
 
+void Rma::send_lock_grant(WinState& w, Rank to) {
+    send_control(w.rank, to, kLockGrant, w.id, 0);
+}
+
 void Rma::send_control(Rank src, Rank dst, std::uint32_t kind, std::uint32_t win,
                        std::uint64_t h1, std::uint64_t h2) {
     net::Packet p;
@@ -967,6 +1052,7 @@ void Rma::handle_packet(Rank r, net::Packet&& p) {
     WinState& w = ws(r, static_cast<std::uint32_t>(p.header[0]));
     switch (p.kind) {
         case kGrant: on_grant(w, p.src, p.header[1]); break;
+        case kLockGrant: on_lock_grant(w, p.src); break;
         case kDone: on_done(w, p.src, p.header[1]); break;
         case kLockReq:
             on_lock_req(w, p.src, static_cast<LockType>(p.header[1]));
@@ -990,50 +1076,73 @@ void Rma::on_grant(WinState& w, Rank from, std::uint64_t value) {
     g = std::max(g, value);
     // The granted-access notification persists in the counter; any active
     // origin-side epoch that was waiting can now proceed (§VII-B).
-    auto actives = w.active;  // drive may mutate the list
-    for (auto& e : actives) {
+    const auto actives = w.active.snapshot();  // drive may mutate the list
+    for (const auto& e : actives) {
         if (!e->origin_side()) continue;
+        // Lock epochs are granted on kLockGrant only — an exposure credit
+        // must never satisfy (or be consumed by) a lock acquisition.
+        if (e->kind == EpochKind::Lock || e->kind == EpochKind::LockAll) {
+            continue;
+        }
         auto it = e->peer.find(from);
         if (it == e->peer.end() || it->second.granted) continue;
         if (it->second.access_id <= g) {
             it->second.granted = true;
-            drive_epoch(w, e);
+            // A grant unblocks this peer's backlog only — except under
+            // MVAPICH lazy batching, where it can make the whole deferred
+            // batch ready and a full rescan is required.
+            drive_epoch(w, e, mode_ == Mode::Mvapich ? Rank{-1} : from);
         }
     }
 }
 
 void Rma::on_done(WinState& w, Rank from, std::uint64_t access_id) {
     w.done[static_cast<std::size_t>(from)].add(access_id);
-    auto actives = w.active;
-    for (auto& e : actives) {
-        if (e->kind == EpochKind::Exposure) drive_epoch(w, e);
+    const auto actives = w.active.snapshot();
+    for (const auto& e : actives) {
+        if (e->kind == EpochKind::Exposure) drive_epoch(w, e, from);
     }
 }
 
 void Rma::on_lock_req(WinState& w, Rank from, LockType type) {
-    if (w.lockmgr.request(from, type)) {
-        const auto exp = ++w.e[static_cast<std::size_t>(from)];
-        send_grant(w, from, exp);
+    if (w.lockmgr.request(from, type)) send_lock_grant(w, from);
+}
+
+void Rma::on_lock_grant(WinState& w, Rank from) {
+    ++w.lock_grants[static_cast<std::size_t>(from)];
+    // Requests toward a peer are sent in activation order and the lock
+    // manager grants a pair's requests in that same order, so this grant
+    // belongs to the oldest still-ungranted lock epoch toward `from`.
+    for (const auto& e : w.active) {
+        if (e->kind != EpochKind::Lock && e->kind != EpochKind::LockAll) {
+            continue;
+        }
+        auto it = e->peer.find(from);
+        if (it == e->peer.end() || it->second.granted) continue;
+        it->second.granted = true;
+        drive_epoch(w, e, from);
+        return;
     }
+    // No pending request: the requesting epoch aborted in the meantime.
+    ++stats_[static_cast<std::size_t>(w.rank)].protocol_errors;
 }
 
 void Rma::on_unlock(WinState& w, Rank from) {
     send_control(w.rank, from, kUnlockAck, w.id, 0);
     for (const auto& waiter : w.lockmgr.release(from)) {
-        const auto exp = ++w.e[static_cast<std::size_t>(waiter.origin)];
-        send_grant(w, waiter.origin, exp);
+        send_lock_grant(w, waiter.origin);
     }
 }
 
 void Rma::on_unlock_ack(WinState& w, Rank from) {
     // Acks arrive in unlock order per pair; match the oldest pending one.
-    for (auto& e : w.active) {
+    for (const auto& e : w.active) {
         if (e->kind != EpochKind::Lock && e->kind != EpochKind::LockAll) continue;
         auto it = e->peer.find(from);
         if (it == e->peer.end()) continue;
         if (it->second.unlock_sent && !it->second.unlock_acked) {
             it->second.unlock_acked = true;
-            drive_epoch(w, e);
+            drive_epoch(w, e, from);
             return;
         }
     }
@@ -1141,8 +1250,8 @@ void Rma::on_get_reply(WinState& w, net::Packet&& p) {
 
 void Rma::on_fence_done(WinState& w, std::uint64_t fence_seq) {
     ++w.fence_dones[fence_seq];
-    auto actives = w.active;
-    for (auto& e : actives) {
+    const auto actives = w.active.snapshot();
+    for (const auto& e : actives) {
         if (e->kind == EpochKind::Fence && e->fence_seq == fence_seq) {
             drive_epoch(w, e);
         }
@@ -1189,9 +1298,9 @@ void Rma::abort_epochs_toward(Rank r, Rank peer, Status s) {
                 doomed.push_back(e);
             }
         };
-        for (auto& e : w.open_app) consider(e);
-        for (auto& e : w.deferred) consider(e);
-        for (auto& e : w.active) consider(e);
+        for (const auto& e : w.open_app) consider(e);
+        for (const auto& e : w.deferred) consider(e);
+        for (const auto& e : w.active) consider(e);
         for (auto& e : doomed) abort_epoch(w, e, s);
     }
 }
@@ -1201,6 +1310,7 @@ void Rma::abort_epoch(WinState& w, const EpochPtr& e, Status s) {
     NBE_TRACE("[%ld] r%d w%u abort seq=%lu kind=%s status=%s",
               (long)world_.engine().now(), w.rank, w.id,
               (unsigned long)e->seq, to_string(e->kind), nbe::to_string(s));
+    notify_epoch(EpochEvent::What::Complete, w, *e);
     e->error = s;
     e->phase = Epoch::Phase::Completed;
     if (auto* t = tracer()) {
@@ -1213,10 +1323,7 @@ void Rma::abort_epoch(WinState& w, const EpochPtr& e, Status s) {
         it != w.deferred.end()) {
         w.deferred.erase(it);
     }
-    if (auto it = std::find(w.active.begin(), w.active.end(), e);
-        it != w.active.end()) {
-        w.active.erase(it);
-    }
+    w.active.erase_if_present(e);
     // The epoch stays in open_app if the application has not closed it yet;
     // the eventual close returns the failure (see close_epoch).
     for (auto& op : e->ops) {
@@ -1265,10 +1372,26 @@ std::vector<obs::Record> Rma::diagnostic_records() const {
                 std::uint32_t granted = 0;
                 std::uint32_t done = 0;
                 std::uint32_t total = 0;
+                std::string waiting;  // peers still blocking this epoch
                 for (const auto& [t, ps] : e->peer) {
                     if (ps.granted) ++granted;
                     done += ps.ops_done;
                     total += ps.ops_total;
+                    if (!ps.granted || ps.ops_done != ps.ops_total) {
+                        if (!waiting.empty()) waiting += ',';
+                        waiting += std::to_string(t);
+                        if (!ps.granted) {
+                            waiting += ":ungranted(a=" +
+                                       std::to_string(ps.access_id) + ",g=" +
+                                       std::to_string(w.g[static_cast<
+                                           std::size_t>(t)]) +
+                                       ")";
+                        } else {
+                            waiting += ":ops(" + std::to_string(ps.ops_done) +
+                                       "/" + std::to_string(ps.ops_total) +
+                                       ")";
+                        }
+                    }
                 }
                 std::string peers = "[";
                 for (std::size_t i = 0; i < e->peers.size() && i < 8; ++i) {
@@ -1291,6 +1414,17 @@ std::vector<obs::Record> Rma::diagnostic_records() const {
                                        std::to_string(e->peers.size()))
                     .kv("ops_done", std::to_string(done) + "/" +
                                         std::to_string(total));
+                if (!waiting.empty()) rec.kv("waiting", waiting);
+                out.push_back(std::move(rec));
+            }
+            if (w.lockmgr.held() || w.lockmgr.queue_length() > 0) {
+                obs::Record rec("rma.lockmgr");
+                rec.kv("rank", r)
+                    .kv("win", static_cast<std::uint64_t>(w.id))
+                    .kv("excl_holder", w.lockmgr.exclusive_holder())
+                    .kv("shared_count", w.lockmgr.shared_count())
+                    .kv("queued",
+                        static_cast<std::uint64_t>(w.lockmgr.queue_length()));
                 out.push_back(std::move(rec));
             }
         }
@@ -1314,8 +1448,8 @@ void Rma::sweep(Rank r) {
     ++stats_[static_cast<std::size_t>(r)].sweeps;
     for (auto& wptr : wins_[static_cast<std::size_t>(r)]) {
         for (int scan = 0; scan < 2; ++scan) {
-            auto actives = wptr->active;
-            for (auto& e : actives) drive_epoch(*wptr, e);
+            const auto actives = wptr->active.snapshot();
+            for (const auto& e : actives) drive_epoch(*wptr, e);
             activation_scan(*wptr);
         }
     }

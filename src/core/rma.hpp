@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -105,6 +106,30 @@ public:
     [[nodiscard]] std::uint64_t granted_counter(Rank r, std::uint32_t win,
                                                 Rank from) const;
 
+    /// Test hook: epoch lifecycle transitions, fired just after an epoch
+    /// enters the deferred queue (Open), is marked closed at application
+    /// level (Close), and just *before* it joins/leaves the active set
+    /// (Activate/Complete) — so an observer checking the activation
+    /// predicate sees the same active-set state can_activate saw. Aborted
+    /// epochs fire Complete from whichever phase they die in. Property
+    /// tests replay these events against a shadow model of §VI-A rule 4;
+    /// production code never sets this.
+    struct EpochEvent {
+        enum class What { Open, Close, Activate, Complete };
+        What what = What::Open;
+        Rank rank = -1;
+        std::uint32_t win = 0;
+        std::uint64_t seq = 0;
+        EpochKind kind = EpochKind::Access;
+        bool origin_side = false;
+        bool closed_app = false;
+        bool flush_forced = false;
+    };
+    using EpochObserver = std::function<void(const EpochEvent&)>;
+    void set_epoch_observer(EpochObserver cb) {
+        epoch_observer_ = std::move(cb);
+    }
+
     /// Structured diagnostic state: one "rma.epoch" record per epoch that
     /// is still open (deferred or active) anywhere in the job.
     [[nodiscard]] std::vector<obs::Record> diagnostic_records() const;
@@ -127,6 +152,7 @@ private:
         kFenceDone = 108,
         kAccRts = 109,     // large-accumulate rendezvous (needs target buffer)
         kAccCts = 110,
+        kLockGrant = 111,  // lock-manager acquisition, distinct from kGrant
     };
 
     /// Per (rank, window) middleware state.
@@ -136,10 +162,15 @@ private:
         WinInfo info;
         std::vector<std::byte> mem;
 
-        // Matching triples, indexed by remote rank (paper §VII-B):
+        // Matching triples, indexed by remote rank (paper §VII-B). These
+        // pair *exposure-style* epochs (fence / GATS) only; lock epochs
+        // acquire through the target's lock manager on a separate packet
+        // kind, so a lock can never consume — or be satisfied by — an
+        // exposure credit meant for a fence or a post.
         std::vector<std::uint64_t> a;  // accesses requested toward r
         std::vector<std::uint64_t> e;  // exposures/grants opened toward r
         std::vector<std::uint64_t> g;  // accesses granted by r (written remotely)
+        std::vector<std::uint64_t> lock_grants;  // lock grants received from r
         std::vector<DoneTracker> done;  // done ids received from r
 
         std::uint64_t next_epoch_seq = 1;
@@ -148,8 +179,8 @@ private:
         std::uint64_t next_fence_seq = 1;
 
         std::deque<EpochPtr> deferred;
-        std::vector<EpochPtr> active;
-        std::vector<EpochPtr> open_app;  // not yet closed at application level
+        EpochList<&Epoch::idx_active> active;
+        EpochList<&Epoch::idx_open_app> open_app;  // not yet closed at app level
 
         LockManager lockmgr;
         std::unordered_map<std::uint64_t, std::uint32_t> fence_dones;
@@ -168,7 +199,14 @@ private:
     void activation_scan(WinState& w);
     [[nodiscard]] bool can_activate(const WinState& w, const Epoch& e) const;
     void activate(WinState& w, const EpochPtr& e);
-    void drive_epoch(WinState& w, EpochPtr e);
+    /// Replays/advances an active epoch. `touched` < 0 means a full drive
+    /// (all peers rescanned); otherwise only state toward that peer can
+    /// have changed since the last drive, and the scan narrows to it —
+    /// the O(peers) -> O(1) path taken per grant / per op completion.
+    void drive_epoch(WinState& w, EpochPtr e, Rank touched = -1);
+    void close_notify_peer(WinState& w, Epoch& e, Rank t, PeerState& ps);
+    void notify_epoch(EpochEvent::What what, const WinState& w,
+                      const Epoch& e);
     [[nodiscard]] bool completion_conditions_met(const WinState& w,
                                                  const Epoch& e) const;
     void complete_epoch(WinState& w, EpochPtr e);
@@ -178,6 +216,7 @@ private:
     // ---- op issue & completion ----
     void record_op(WinState& w, const EpochPtr& e, const OpPtr& op);
     void try_issue(WinState& w, const EpochPtr& e);
+    void try_issue_target(WinState& w, const EpochPtr& e, Rank t);
     [[nodiscard]] bool may_issue_to_peer(const WinState& w, const Epoch& e,
                                          Rank t) const;
     [[nodiscard]] bool mvapich_batch_ready(const WinState& w, const Epoch& e,
@@ -195,6 +234,7 @@ private:
     void on_grant(WinState& w, Rank from, std::uint64_t value);
     void on_done(WinState& w, Rank from, std::uint64_t access_id);
     void on_lock_req(WinState& w, Rank from, LockType type);
+    void on_lock_grant(WinState& w, Rank from);
     void on_unlock(WinState& w, Rank from);
     void on_unlock_ack(WinState& w, Rank from);
     void on_data(WinState& w, net::Packet&& p);
@@ -204,6 +244,7 @@ private:
     void on_acc_rts(WinState& w, net::Packet&& p);
     void on_acc_cts(WinState& w, net::Packet&& p);
     void send_grant(WinState& w, Rank to, std::uint64_t value);
+    void send_lock_grant(WinState& w, Rank to);
     void send_control(Rank src, Rank dst, std::uint32_t kind, std::uint32_t win,
                       std::uint64_t h1, std::uint64_t h2 = 0);
 
@@ -220,6 +261,8 @@ private:
 
     rt::World& world_;
     Mode mode_;
+    EpochObserver epoch_observer_;
+    std::vector<Rank> all_ranks_;  ///< [0, nranks), reused by fence/lock_all
     std::vector<std::vector<std::unique_ptr<WinState>>> wins_;  // [rank][win]
     std::vector<RmaStats> stats_;
     std::size_t acc_rndv_threshold_ = 8192;  ///< paper: >8 KB accumulates

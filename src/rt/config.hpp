@@ -6,6 +6,7 @@
 
 #include "net/config.hpp"
 #include "obs/obs.hpp"
+#include "sim/engine.hpp"
 #include "sim/time.hpp"
 
 namespace nbe::rt {
@@ -38,6 +39,11 @@ struct JobConfig {
     Mode mode = Mode::NewNonblocking;
     net::FabricConfig fabric{};
     std::uint64_t seed = 0x6e6265ULL;  // "nbe"
+
+    /// Simulated-process handoff backend. Defaults from NBE_SIM_BACKEND
+    /// (fibers unless overridden or in a sanitizer build); set explicitly
+    /// to compare backends in-process.
+    sim::Engine::Backend sim_backend = sim::Engine::env_backend();
 
     /// CPU cost charged for each runtime/RMA API call (the paper's epsilon).
     sim::Duration call_overhead = sim::nanoseconds(200);

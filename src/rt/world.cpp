@@ -8,7 +8,7 @@ namespace nbe::rt {
 
 World::World(JobConfig cfg)
     : cfg_(cfg),
-      engine_(),
+      engine_(cfg.sim_backend),
       obs_(engine_, cfg.obs),
       fabric_(engine_, cfg.ranks, cfg.fabric) {
     fabric_.set_obs(&obs_);

@@ -1,103 +1,157 @@
 #include "sim/engine.hpp"
 
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "sim/fiber.hpp"
+
 namespace nbe::sim {
+
+// --------------------------------------------------------------- backends
+
+/// One OS thread per process; control handed back and forth through a
+/// mutex/condvar pair. turn_ == true means the process side may run.
+/// done_ mirrors Process::finished_ under the mutex so kill() can wait on
+/// it without racing the (otherwise serial) process state.
+struct Process::ThreadBackend final : Process::Backend {
+    explicit ThreadBackend(Process& p) : proc_(p) {
+        thread_ = std::thread([this] {
+            {
+                std::unique_lock lk(mu_);
+                cv_.wait(lk, [&] { return turn_; });
+            }
+            proc_.run_body();
+            {
+                std::lock_guard lk(mu_);
+                done_ = true;
+                turn_ = false;
+            }
+            cv_.notify_all();
+        });
+    }
+
+    ~ThreadBackend() override {
+        if (thread_.joinable()) thread_.join();
+    }
+
+    void resume() override {
+        {
+            std::lock_guard lk(mu_);
+            turn_ = true;
+        }
+        cv_.notify_all();
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return !turn_; });
+    }
+
+    void park() override {
+        {
+            std::lock_guard lk(mu_);
+            turn_ = false;
+        }
+        cv_.notify_all();
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return turn_; });
+    }
+
+    void kill() override {
+        {
+            std::lock_guard lk(mu_);
+            turn_ = true;
+        }
+        cv_.notify_all();
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return done_; });
+    }
+
+    Process& proc_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool turn_ = false;
+    bool done_ = false;
+};
+
+/// All processes share the engine's OS thread; a handoff is a fiber switch
+/// (userspace register swap). run_body() handles the killed-before-start
+/// case and traps exceptions, so the fiber entry never unwinds.
+struct Process::FiberBackend final : Process::Backend {
+    explicit FiberBackend(Process& p)
+        : fiber_([&p] { p.run_body(); }, Fiber::default_stack_bytes(), p.name_) {}
+
+    void resume() override { fiber_.switch_in(); }
+    void park() override { fiber_.switch_out(); }
+    // Waking a parked process with killing_ set makes Process::park throw
+    // ProcessKilled; the unwind lands back in run_body, the entry returns,
+    // and switch_in comes back with the fiber finished.
+    void kill() override { fiber_.switch_in(); }
+
+    Fiber fiber_;
+};
 
 // ---------------------------------------------------------------- Process
 
 Process::Process(Engine& engine, std::string name,
                  std::function<void(Process&)> body)
     : engine_(engine), name_(std::move(name)), body_(std::move(body)) {
-    start_thread();
+    if (engine_.backend() == Engine::Backend::Threads) {
+        backend_ = std::make_unique<ThreadBackend>(*this);
+    } else {
+        backend_ = std::make_unique<FiberBackend>(*this);
+    }
 }
 
 Process::~Process() {
-    if (thread_.joinable()) {
-        kill();
-        thread_.join();
-    }
+    kill();  // no-op when already finished
+    backend_.reset();
 }
 
 Time Process::now() const noexcept { return engine_.now(); }
 
-void Process::start_thread() {
-    thread_ = std::thread([this] {
-        {
-            std::unique_lock lk(mu_);
-            cv_.wait(lk, [&] { return process_turn_; });
+void Process::run_body() {
+    if (!killing_) {
+        started_ = true;
+        try {
+            body_(*this);
+        } catch (ProcessKilled&) {
+            // Engine teardown: unwind silently.
+        } catch (const std::exception& e) {
+            failed_ = true;
+            failure_ = e.what();
+        } catch (...) {
+            failed_ = true;
+            failure_ = "unknown exception";
         }
-        if (!killing_) {
-            started_ = true;
-            try {
-                body_(*this);
-            } catch (ProcessKilled&) {
-                // Engine teardown: unwind silently.
-            } catch (const std::exception& e) {
-                failed_ = true;
-                failure_ = e.what();
-            } catch (...) {
-                failed_ = true;
-                failure_ = "unknown exception";
-            }
-        }
-        {
-            std::lock_guard lk(mu_);
-            finished_ = true;
-            process_turn_ = false;
-        }
-        cv_.notify_all();
-    });
+    }
+    finished_ = true;
 }
 
 void Process::resume() {
     assert(!finished_);
-    {
-        std::lock_guard lk(mu_);
-        process_turn_ = true;
-    }
-    cv_.notify_all();
-    {
-        std::unique_lock lk(mu_);
-        cv_.wait(lk, [&] { return !process_turn_; });
-    }
+    backend_->resume();
 }
 
 void Process::park() {
-    {
-        std::lock_guard lk(mu_);
-        process_turn_ = false;
-    }
-    cv_.notify_all();
-    {
-        std::unique_lock lk(mu_);
-        cv_.wait(lk, [&] { return process_turn_; });
-    }
+    backend_->park();
     if (killing_) throw ProcessKilled{};
 }
 
 void Process::kill() {
     if (finished_) return;
-    {
-        std::lock_guard lk(mu_);
-        killing_ = true;
-        process_turn_ = true;
-    }
-    cv_.notify_all();
-    {
-        std::unique_lock lk(mu_);
-        cv_.wait(lk, [&] { return finished_; });
-    }
+    killing_ = true;
+    backend_->kill();
 }
 
 void Process::advance(Duration d) {
     if (d < 0) d = 0;
     parked_ = false;
-    engine_.schedule_at(engine_.now() + d, [this] {
-        resume();
-        if (failed_) engine_.note_failure(name_ + ": " + failure_);
-    });
+    engine_.schedule_process(engine_.now() + d, this);
     park();
 }
 
@@ -105,18 +159,45 @@ void Process::yield() { advance(0); }
 
 // ----------------------------------------------------------------- Engine
 
+Engine::Backend Engine::env_backend() {
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) ||     \
+    __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+    constexpr Backend fallback = Backend::Threads;
+#else
+    constexpr Backend fallback = Backend::Fibers;
+#endif
+    const char* v = std::getenv("NBE_SIM_BACKEND");
+    if (v == nullptr || *v == '\0') return fallback;
+    if (std::strcmp(v, "threads") == 0) return Backend::Threads;
+    if (std::strcmp(v, "fibers") == 0) return Backend::Fibers;
+    std::fprintf(stderr,
+                 "nbe::sim: unrecognised NBE_SIM_BACKEND=%s "
+                 "(want fibers|threads), using default\n",
+                 v);
+    return fallback;
+}
+
 Engine::~Engine() { shutdown(); }
 
 void Engine::shutdown() {
     for (auto& p : processes_) {
         if (!p->finished()) p->kill();
     }
-    processes_.clear();  // joins threads
+    processes_.clear();  // releases fibers / joins threads
 }
 
 void Engine::schedule_at(Time at, std::function<void()> fn) {
     if (at < now_) at = now_;
-    queue_.push(Event{at, next_seq_++, std::move(fn)});
+    queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Engine::schedule_process(Time at, Process* p) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, next_seq_++, p, nullptr});
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
@@ -124,10 +205,7 @@ Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
     processes_.push_back(
         std::make_unique<Process>(*this, std::move(name), std::move(body)));
     Process* p = processes_.back().get();
-    schedule_at(start, [this, p] {
-        p->resume();
-        if (p->failed()) note_failure(p->name() + ": " + p->failure());
-    });
+    schedule_process(start, p);
     return *p;
 }
 
@@ -136,12 +214,21 @@ void Engine::run() {
     while (!queue_.empty() && !have_failure_) {
         // priority_queue::top() is const; move out via const_cast on the
         // callable only (the key fields stay untouched before pop).
-        auto fn = std::move(const_cast<Event&>(queue_.top()).fn);
-        const Time at = queue_.top().at;
+        auto& top = const_cast<Event&>(queue_.top());
+        const Time at = top.at;
+        Process* proc = top.proc;
+        auto fn = std::move(top.fn);
         queue_.pop();
         now_ = at;
         ++executed_;
-        fn();
+        if (proc != nullptr) {
+            proc->resume();
+            if (proc->failed_) {
+                note_failure(proc->name_ + ": " + proc->failure_);
+            }
+        } else {
+            fn();
+        }
     }
     running_ = false;
     if (have_failure_) {
@@ -215,10 +302,7 @@ void Condition::notify_all(Engine& engine) {
     woken.swap(waiters_);
     for (Process* w : woken) {
         w->parked_ = false;
-        engine.schedule_at(engine.now(), [w, &engine] {
-            w->resume();
-            if (w->failed()) engine.note_failure(w->name() + ": " + w->failure());
-        });
+        engine.schedule_process(engine.now(), w);
     }
 }
 

@@ -1,28 +1,39 @@
-// Discrete-event simulation engine with thread-backed simulated processes.
+// Discrete-event simulation engine with cooperatively scheduled processes.
 //
 // The engine owns a virtual clock and an event queue. Simulated processes
-// (one OS thread each) run *cooperatively*: exactly one thread — either the
-// engine thread or one simulated process — executes at any instant, handing
-// control back and forth through a mutex/condvar pair per process. Because
-// execution is strictly serial, simulation state needs no further locking;
-// determinism follows from the (time, sequence) total order on events.
+// run *cooperatively*: exactly one context — the engine or one simulated
+// process — executes at any instant. Because execution is strictly serial,
+// simulation state needs no further locking; determinism follows from the
+// (time, sequence) total order on events.
+//
+// Two interchangeable handoff backends implement the control transfer
+// (selected per Engine, default from NBE_SIM_BACKEND=fibers|threads):
+//
+//   * Fibers (default): each process runs on a stackful fiber
+//     (sim/fiber.hpp) on the engine's own OS thread. A handoff is a
+//     userspace register swap — no kernel involvement — which is what makes
+//     large rank counts practical.
+//   * Threads: each process runs on a dedicated OS thread, handing control
+//     back and forth through a mutex/condvar pair. ~100× slower per
+//     handoff, but the only backend TSan and valgrind understand; sanitizer
+//     builds default to it.
+//
+// Both backends drive the same serial event loop with the same (time, seq)
+// event ordering, so a given seed produces byte-identical traces on either.
 //
 // A process blocks in virtual time by calling Process::advance (compute for
 // a fixed duration), Process::yield (reschedule at the same timestamp), or
 // Condition::wait (park until notified). Events scheduled by middleware
-// callbacks run on the engine thread and must not block.
+// callbacks run on the engine context and must not block.
 #pragma once
 
 #include <cassert>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -47,9 +58,10 @@ public:
     explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// A simulated process. Runs its body on a dedicated OS thread, but only
-/// while the engine has handed it control. All member functions that park
-/// (advance/yield/wait) must be called from the process's own thread.
+/// A simulated process. Runs its body on the engine's chosen handoff
+/// backend (fiber or dedicated OS thread), but only while the engine has
+/// handed it control. All member functions that park (advance/yield/wait)
+/// must be called from within the process's own context.
 class Process {
 public:
     Process(Engine& engine, std::string name, std::function<void(Process&)> body);
@@ -86,7 +98,22 @@ private:
     friend class Engine;
     friend class Condition;
 
-    void start_thread();
+    /// The handoff mechanism. resume()/kill() run on the engine side,
+    /// park() on the process side; implementations only transfer control —
+    /// all process state lives on Process and is touched serially.
+    struct Backend {
+        virtual ~Backend() = default;
+        virtual void resume() = 0;
+        virtual void park() = 0;
+        virtual void kill() = 0;
+    };
+    struct ThreadBackend;
+    struct FiberBackend;
+
+    /// Body wrapper shared by both backends: honours a pre-start kill,
+    /// traps escaping exceptions into failed_/failure_, sets finished_.
+    void run_body();
+
     /// Engine side: transfer control to the process until it parks/finishes.
     void resume();
     /// Process side: give control back to the engine and wait to be resumed.
@@ -97,11 +124,8 @@ private:
     Engine& engine_;
     std::string name_;
     std::function<void(Process&)> body_;
-    std::thread thread_;
+    std::unique_ptr<Backend> backend_;
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool process_turn_ = false;  // true: the process thread may run
     bool killing_ = false;
     bool started_ = false;
     bool finished_ = false;
@@ -114,23 +138,41 @@ private:
 /// The event queue + virtual clock. Construct, spawn processes, run().
 class Engine {
 public:
-    Engine() = default;
+    enum class Backend {
+        Fibers,   ///< stackful fibers, single OS thread (default)
+        Threads,  ///< one OS thread per process (TSan / valgrind)
+    };
+
+    /// Backend selected by NBE_SIM_BACKEND=fibers|threads. Unset or
+    /// unrecognised: Fibers, except in sanitizer builds which default to
+    /// Threads (an explicit env value still wins there).
+    [[nodiscard]] static Backend env_backend();
+
+    explicit Engine(Backend backend = env_backend()) : backend_(backend) {}
     ~Engine();
 
     Engine(const Engine&) = delete;
     Engine& operator=(const Engine&) = delete;
 
+    [[nodiscard]] Backend backend() const noexcept { return backend_; }
+
     [[nodiscard]] Time now() const noexcept { return now_; }
 
-    /// Schedule `fn` to run on the engine thread at absolute time `at`
-    /// (clamped to now). Callable from the engine thread or from the
-    /// currently running process.
+    /// Schedule `fn` to run on the engine context at absolute time `at`
+    /// (clamped to now). Callable from the engine or from the currently
+    /// running process.
     void schedule_at(Time at, std::function<void()> fn);
 
     /// Schedule `fn` after a delay from now.
     void schedule_after(Duration d, std::function<void()> fn) {
         schedule_at(now_ + (d < 0 ? 0 : d), std::move(fn));
     }
+
+    /// Hot path: schedule `p` to be resumed at absolute time `at` (clamped
+    /// to now). Equivalent to schedule_at with a resume lambda, but carries
+    /// the process pointer in the event itself — no std::function
+    /// allocation for the dominant event kind.
+    void schedule_process(Time at, Process* p);
 
     /// Create a simulated process whose body starts at virtual time `start`.
     Process& spawn(std::string name, std::function<void(Process&)> body,
@@ -144,10 +186,10 @@ public:
     /// Number of processes that have not finished.
     [[nodiscard]] std::size_t live_process_count() const noexcept;
 
-    /// Kills every unfinished process (unwinding their stacks) and joins
-    /// their threads. Idempotent; called automatically on destruction.
-    /// Owners whose state is referenced by process bodies must call this
-    /// before that state is destroyed.
+    /// Kills every unfinished process (unwinding their stacks) and releases
+    /// them. Idempotent; called automatically on destruction. Owners whose
+    /// state is referenced by process bodies must call this before that
+    /// state is destroyed.
     void shutdown();
 
     /// Number of events executed so far (diagnostics).
@@ -170,6 +212,7 @@ private:
     struct Event {
         Time at;
         std::uint64_t seq;
+        Process* proc;  ///< non-null: resume this process; fn is empty
         std::function<void()> fn;
     };
     struct EventOrder {
@@ -179,6 +222,7 @@ private:
         }
     };
 
+    Backend backend_;
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

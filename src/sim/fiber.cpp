@@ -1,0 +1,380 @@
+#include "sim/fiber.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define NBE_FIBER_HAVE_MMAP 1
+#endif
+
+// ---------------------------------------------------------------- sanitizers
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+#define NBE_FIBER_ASAN 1
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old, size_t* size_old);
+}
+#endif
+
+namespace nbe::sim {
+
+namespace {
+
+constexpr std::uint64_t kCanary = 0x6e62652d66696221ULL;  // "nbe-fib!"
+constexpr std::size_t kCanaryWords = 8;
+
+std::size_t page_size() noexcept {
+#if defined(NBE_FIBER_HAVE_MMAP)
+    static const auto ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return ps;
+#else
+    return 4096;
+#endif
+}
+
+std::size_t round_up(std::size_t v, std::size_t to) noexcept {
+    return (v + to - 1) / to * to;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ context switch
+//
+// nbe_fiber_switch(save_sp, restore_sp, arg):
+//   pushes the callee-saved register set, stores SP through save_sp,
+//   installs restore_sp, pops the destination's register set and returns
+//   there. `arg` is passed through in the return-value register, which is
+//   how a brand-new fiber receives its Fiber* on first entry.
+
+#if !defined(NBE_FIBER_UCONTEXT)
+
+extern "C" void* nbe_fiber_switch(void** save_sp, void* restore_sp, void* arg);
+extern "C" void nbe_fiber_main(void* arg);
+
+#if defined(__x86_64__)
+
+// System V AMD64: rbx, rbp, r12-r15 are callee-saved (plus rsp). A new
+// fiber's stack is seeded so the first switch "returns" into the entry
+// thunk, which moves the pass-through arg into the first parameter
+// register and calls nbe_fiber_main.
+asm(R"(
+.text
+.align 16
+.globl nbe_fiber_switch
+.hidden nbe_fiber_switch
+.type nbe_fiber_switch, @function
+nbe_fiber_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    movq %rdx, %rax
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    retq
+.size nbe_fiber_switch, .-nbe_fiber_switch
+
+.align 16
+.globl nbe_fiber_entry_thunk
+.hidden nbe_fiber_entry_thunk
+.type nbe_fiber_entry_thunk, @function
+nbe_fiber_entry_thunk:
+    movq %rax, %rdi
+    pushq $0
+    callq nbe_fiber_main
+    ud2
+.size nbe_fiber_entry_thunk, .-nbe_fiber_entry_thunk
+)");
+
+extern "C" void nbe_fiber_entry_thunk();
+
+namespace {
+
+void* seed_stack(std::byte* lo, std::size_t bytes) {
+    auto top = reinterpret_cast<std::uintptr_t>(lo + bytes) & ~std::uintptr_t{15};
+    auto* sp = reinterpret_cast<void**>(top);
+    *--sp = nullptr;  // fake return address: stops unwinders/backtraces
+    *--sp = reinterpret_cast<void*>(&nbe_fiber_entry_thunk);
+    for (int i = 0; i < 6; ++i) *--sp = nullptr;  // rbp,rbx,r12-r15
+    return sp;
+}
+
+}  // namespace
+
+#elif defined(__aarch64__)
+
+// AAPCS64: x19-x28, x29 (fp), x30 (lr) and d8-d15 are callee-saved. The
+// switch already places `arg` in x0 before returning, so a new fiber's
+// saved lr can point straight at nbe_fiber_main; fp = 0 terminates the
+// frame chain.
+asm(R"(
+.text
+.align 4
+.globl nbe_fiber_switch
+.hidden nbe_fiber_switch
+.type nbe_fiber_switch, %function
+nbe_fiber_switch:
+    sub sp, sp, #160
+    stp x19, x20, [sp, #0]
+    stp x21, x22, [sp, #16]
+    stp x23, x24, [sp, #32]
+    stp x25, x26, [sp, #48]
+    stp x27, x28, [sp, #64]
+    stp x29, x30, [sp, #80]
+    stp d8,  d9,  [sp, #96]
+    stp d10, d11, [sp, #112]
+    stp d12, d13, [sp, #128]
+    stp d14, d15, [sp, #144]
+    mov x9, sp
+    str x9, [x0]
+    mov sp, x1
+    ldp x19, x20, [sp, #0]
+    ldp x21, x22, [sp, #16]
+    ldp x23, x24, [sp, #32]
+    ldp x25, x26, [sp, #48]
+    ldp x27, x28, [sp, #64]
+    ldp x29, x30, [sp, #80]
+    ldp d8,  d9,  [sp, #96]
+    ldp d10, d11, [sp, #112]
+    ldp d12, d13, [sp, #128]
+    ldp d14, d15, [sp, #144]
+    mov x0, x2
+    add sp, sp, #160
+    ret
+.size nbe_fiber_switch, .-nbe_fiber_switch
+)");
+
+namespace {
+
+void* seed_stack(std::byte* lo, std::size_t bytes) {
+    auto top = reinterpret_cast<std::uintptr_t>(lo + bytes) & ~std::uintptr_t{15};
+    auto* frame = reinterpret_cast<void**>(top - 160);
+    for (int i = 0; i < 20; ++i) frame[i] = nullptr;
+    frame[11] = reinterpret_cast<void*>(&nbe_fiber_main);  // x30 (lr) slot
+    return frame;
+}
+
+}  // namespace
+
+#endif  // architecture
+
+extern "C" void nbe_fiber_main(void* arg) {
+    fiber_entry(static_cast<Fiber*>(arg));
+}
+
+#else  // NBE_FIBER_UCONTEXT
+
+namespace {
+
+// makecontext entry functions take no usable pointer argument; the engine
+// is single-threaded, so a file-scope slot is enough to pass the Fiber*.
+Fiber* g_ucontext_starting = nullptr;
+
+void ucontext_entry() { fiber_entry(g_ucontext_starting); }
+
+}  // namespace
+
+#endif  // NBE_FIBER_UCONTEXT
+
+void fiber_entry(Fiber* f) { f->run_entry(); }
+
+// ------------------------------------------------------------------- Fiber
+
+std::size_t Fiber::default_stack_bytes() {
+    static const std::size_t bytes = [] {
+        std::size_t kib = 256;
+        if (const char* v = std::getenv("NBE_SIM_STACK_KB")) {
+            const long parsed = std::atol(v);
+            if (parsed > 0) kib = static_cast<std::size_t>(parsed);
+        }
+        if (kib < 64) kib = 64;  // room for run_entry + std::function frames
+        return round_up(kib * 1024, page_size());
+    }();
+    return bytes;
+}
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes,
+             std::string name)
+    : entry_(std::move(entry)), name_(std::move(name)) {
+    allocate_stack(round_up(stack_bytes < 16384 ? 16384 : stack_bytes,
+                            page_size()));
+    write_canary();
+#if defined(NBE_FIBER_UCONTEXT)
+    if (::getcontext(&fiber_ctx_) != 0) {
+        release_stack();
+        throw std::runtime_error("Fiber: getcontext failed");
+    }
+    fiber_ctx_.uc_stack.ss_sp = stack_lo_;
+    fiber_ctx_.uc_stack.ss_size = stack_bytes_;
+    fiber_ctx_.uc_link = nullptr;
+    ::makecontext(&fiber_ctx_, reinterpret_cast<void (*)()>(&ucontext_entry), 0);
+#else
+    fiber_sp_ = seed_stack(stack_lo_, stack_bytes_);
+#endif
+}
+
+Fiber::~Fiber() {
+    // The simulator kills processes (unwinding their fibers) before
+    // destroying them; a still-suspended fiber here would leak the entry's
+    // locals, so flag it loudly in debug builds.
+    if (started_ && !finished_) {
+        std::fprintf(stderr, "nbe::sim::Fiber(%s): destroyed while suspended\n",
+                     name_.c_str());
+    }
+    if (finished_ || !started_) check_canary();
+    release_stack();
+}
+
+void Fiber::allocate_stack(std::size_t bytes) {
+    const std::size_t page = page_size();
+#if defined(NBE_FIBER_HAVE_MMAP)
+    // One extra page below the stack, PROT_NONE: overflow faults instead of
+    // scribbling over the neighbouring allocation.
+    const std::size_t total = bytes + page;
+    void* map = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (map != MAP_FAILED) {
+        if (::mprotect(map, page, PROT_NONE) != 0) {
+            ::munmap(map, total);
+            throw std::runtime_error("Fiber: mprotect(guard) failed");
+        }
+        alloc_base_ = static_cast<std::byte*>(map);
+        alloc_bytes_ = total;
+        stack_lo_ = alloc_base_ + page;
+        stack_bytes_ = bytes;
+        mmapped_ = true;
+        return;
+    }
+#endif
+    // Fallback: plain allocation, canary-only overflow detection.
+    alloc_base_ = static_cast<std::byte*>(
+        ::operator new(bytes, std::align_val_t{page}));
+    alloc_bytes_ = bytes;
+    stack_lo_ = alloc_base_;
+    stack_bytes_ = bytes;
+    mmapped_ = false;
+}
+
+void Fiber::release_stack() noexcept {
+    if (alloc_base_ == nullptr) return;
+#if defined(NBE_FIBER_HAVE_MMAP)
+    if (mmapped_) {
+        ::munmap(alloc_base_, alloc_bytes_);
+        alloc_base_ = nullptr;
+        return;
+    }
+#endif
+    ::operator delete(alloc_base_, std::align_val_t{page_size()});
+    alloc_base_ = nullptr;
+}
+
+void Fiber::write_canary() noexcept {
+    std::uint64_t v = kCanary;
+    for (std::size_t i = 0; i < kCanaryWords; ++i) {
+        std::memcpy(stack_lo_ + i * sizeof(v), &v, sizeof(v));
+    }
+}
+
+void Fiber::check_canary() const {
+    for (std::size_t i = 0; i < kCanaryWords; ++i) {
+        std::uint64_t v = 0;
+        std::memcpy(&v, stack_lo_ + i * sizeof(v), sizeof(v));
+        if (v != kCanary) {
+            std::fprintf(stderr,
+                         "nbe::sim::Fiber(%s): stack canary clobbered — "
+                         "fiber stack overflow (raise NBE_SIM_STACK_KB)\n",
+                         name_.c_str());
+            std::abort();
+        }
+    }
+}
+
+void Fiber::switch_in() {
+    if (finished_ || running_) {
+        throw std::logic_error("Fiber::switch_in on finished/running fiber");
+    }
+    running_ = true;
+#if defined(NBE_FIBER_ASAN)
+    __sanitizer_start_switch_fiber(&asan_caller_fake_, stack_lo_, stack_bytes_);
+#endif
+#if defined(NBE_FIBER_UCONTEXT)
+    if (!started_) g_ucontext_starting = this;
+    ::swapcontext(&caller_ctx_, &fiber_ctx_);
+#else
+    nbe_fiber_switch(&caller_sp_, fiber_sp_, this);
+#endif
+#if defined(NBE_FIBER_ASAN)
+    __sanitizer_finish_switch_fiber(asan_caller_fake_, nullptr, nullptr);
+#endif
+    running_ = false;
+    check_canary();
+}
+
+void Fiber::switch_out() {
+#if defined(NBE_FIBER_ASAN)
+    __sanitizer_start_switch_fiber(&asan_fiber_fake_, asan_return_bottom_,
+                                   asan_return_size_);
+#endif
+#if defined(NBE_FIBER_UCONTEXT)
+    ::swapcontext(&fiber_ctx_, &caller_ctx_);
+#else
+    nbe_fiber_switch(&fiber_sp_, caller_sp_, nullptr);
+#endif
+#if defined(NBE_FIBER_ASAN)
+    __sanitizer_finish_switch_fiber(asan_fiber_fake_, &asan_return_bottom_,
+                                    &asan_return_size_);
+#endif
+}
+
+void Fiber::run_entry() {
+#if defined(NBE_FIBER_ASAN)
+    __sanitizer_finish_switch_fiber(nullptr, &asan_return_bottom_,
+                                    &asan_return_size_);
+#endif
+    started_ = true;
+    try {
+        entry_();
+    } catch (...) {
+        // Process::run_body catches everything; anything reaching here
+        // would unwind off the fiber stack into a seeded frame.
+        std::fprintf(stderr,
+                     "nbe::sim::Fiber(%s): exception escaped fiber entry\n",
+                     name_.c_str());
+        std::abort();
+    }
+    finished_ = true;
+#if defined(NBE_FIBER_ASAN)
+    // nullptr save slot: tells ASan this fake stack dies with the fiber.
+    __sanitizer_start_switch_fiber(nullptr, asan_return_bottom_,
+                                   asan_return_size_);
+#endif
+#if defined(NBE_FIBER_UCONTEXT)
+    ::swapcontext(&fiber_ctx_, &caller_ctx_);
+#else
+    nbe_fiber_switch(&fiber_sp_, caller_sp_, nullptr);
+#endif
+    // A finished fiber is never switched into again.
+    std::abort();
+}
+
+}  // namespace nbe::sim

@@ -2,6 +2,8 @@
 // references and cross-run determinism, over every mode / flag combination.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -269,6 +271,254 @@ TEST_P(GatsRounds, RandomBroadcastRoundsDeliverEverywhere) {
         }
     });
     EXPECT_EQ(failures, 0);
+}
+
+// ------------------------------------- activation order (§VI-A rule 4)
+
+namespace {
+
+// Independent re-implementation of the activation predicate (§VI-A/B),
+// evaluated against a shadow model built purely from observer events.
+struct ShadowEpoch {
+    std::uint64_t seq = 0;
+    EpochKind kind = EpochKind::Access;
+    bool origin = false;
+    bool closed = false;
+};
+
+bool ref_can_activate(Mode mode, const WinInfo& info,
+                      const rma::Rma::EpochEvent& e,
+                      const std::vector<ShadowEpoch>& active) {
+    if (mode == Mode::Mvapich &&
+        (e.kind == EpochKind::Lock || e.kind == EpochKind::LockAll) &&
+        !e.closed_app && !e.flush_forced) {
+        return false;
+    }
+    for (const auto& a : active) {
+        if (!a.closed) continue;
+        if (mode == Mode::Mvapich) return false;
+        if (a.kind == EpochKind::Fence || a.kind == EpochKind::LockAll ||
+            e.kind == EpochKind::Fence || e.kind == EpochKind::LockAll) {
+            return false;
+        }
+        bool allowed = false;
+        if (e.origin_side && a.origin) allowed = info.access_after_access;
+        if (e.origin_side && !a.origin) allowed = info.access_after_exposure;
+        if (!e.origin_side && !a.origin) allowed = info.exposure_after_exposure;
+        if (!e.origin_side && a.origin) allowed = info.exposure_after_access;
+        if (!allowed) return false;
+    }
+    return true;
+}
+
+struct ActivationCase {
+    Mode mode;
+    bool aaar;
+    bool all_flags;
+    std::uint64_t seed;
+};
+
+}  // namespace
+
+class ActivationOrder : public ::testing::TestWithParam<ActivationCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ActivationOrder,
+    ::testing::Values(ActivationCase{Mode::Mvapich, false, false, 101},
+                      ActivationCase{Mode::NewBlocking, false, false, 202},
+                      ActivationCase{Mode::NewNonblocking, false, false, 303},
+                      ActivationCase{Mode::NewNonblocking, true, false, 404},
+                      ActivationCase{Mode::NewNonblocking, false, true, 505},
+                      ActivationCase{Mode::NewNonblocking, false, false, 606}),
+    [](const auto& info) {
+        std::string n = to_string(info.param.mode);
+        for (auto& c : n) {
+            if (c == ' ') c = '_';
+        }
+        if (info.param.aaar) n += "_aaar";
+        if (info.param.all_flags) n += "_all_flags";
+        return n + "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST_P(ActivationOrder, DeferredQueueNeverSkipsAndMatchesPredicate) {
+    // Randomized epoch open/close/op/flush traffic over every epoch kind.
+    // The engine reports each lifecycle transition through the epoch
+    // observer; a shadow model replays them and asserts, at every
+    // activation, that (a) the epoch was the *front* of its window's
+    // deferred queue — rule 4, epochs are never skipped — and (b) the
+    // activation predicate, re-evaluated from scratch against the shadow
+    // active set, in fact held.
+    const auto param = GetParam();
+    const int n = 6;
+    const int rounds = 10;
+    const bool nb = param.mode == Mode::NewNonblocking;
+
+    WinInfo info;
+    info.access_after_access = param.aaar || param.all_flags;
+    info.access_after_exposure = param.all_flags;
+    info.exposure_after_exposure = param.all_flags;
+    info.exposure_after_access = param.all_flags;
+
+    struct ShadowWin {
+        std::deque<ShadowEpoch> deferred;
+        std::vector<ShadowEpoch> active;
+    };
+    std::map<std::pair<Rank, std::uint32_t>, ShadowWin> shadow;
+    std::uint64_t activations = 0;
+
+    JobConfig cfg = internode(n, param.mode);
+    cfg.seed = param.seed;
+    Job job(cfg);
+    job.rma().set_epoch_observer([&](const rma::Rma::EpochEvent& ev) {
+        using What = rma::Rma::EpochEvent::What;
+        ShadowWin& sw = shadow[{ev.rank, ev.win}];
+        const auto by_seq = [&](const ShadowEpoch& s) {
+            return s.seq == ev.seq;
+        };
+        switch (ev.what) {
+            case What::Open:
+                sw.deferred.push_back({ev.seq, ev.kind, ev.origin_side,
+                                       ev.closed_app});
+                break;
+            case What::Close:
+                for (auto& s : sw.deferred) {
+                    if (s.seq == ev.seq) s.closed = true;
+                }
+                for (auto& s : sw.active) {
+                    if (s.seq == ev.seq) s.closed = true;
+                }
+                break;
+            case What::Activate: {
+                ++activations;
+                ASSERT_FALSE(sw.deferred.empty())
+                    << "rank " << ev.rank << " activated seq " << ev.seq
+                    << " with an empty shadow queue";
+                EXPECT_EQ(sw.deferred.front().seq, ev.seq)
+                    << "rank " << ev.rank << " skipped over seq "
+                    << sw.deferred.front().seq;
+                EXPECT_TRUE(ref_can_activate(param.mode, info, ev, sw.active))
+                    << "rank " << ev.rank << " activated seq " << ev.seq
+                    << " while the reference predicate forbids it";
+                ShadowEpoch s = sw.deferred.front();
+                sw.deferred.pop_front();
+                s.closed = ev.closed_app;
+                sw.active.push_back(s);
+                break;
+            }
+            case What::Complete:
+                std::erase_if(sw.active, by_seq);
+                std::erase_if(sw.deferred, by_seq);
+                break;
+        }
+    });
+
+    job.run([&](Proc& p) {
+        Window win = p.create_window(256, info);
+        auto& rng = p.rng();
+        sim::Xoshiro256 script(cfg.seed);  // same phase schedule everywhere
+        std::vector<Request> rs;
+        std::vector<Rank> others;
+        for (Rank q = 0; q < n; ++q) {
+            if (q != p.rank()) others.push_back(q);
+        }
+        const auto slot = [&] { return static_cast<std::size_t>(rng.below(32)); };
+        const auto value = [&] { return static_cast<std::int64_t>(rng.below(1000)); };
+        win.fence();
+        for (int round = 0; round < rounds; ++round) {
+            switch (script.below(4)) {
+                case 0: {  // collective fence round
+                    if (nb) {
+                        rs.push_back(win.ifence());
+                    } else {
+                        win.fence();
+                    }
+                    const std::int64_t v = value();
+                    win.put(std::span<const std::int64_t>(&v, 1),
+                            static_cast<Rank>(rng.below(n)), slot());
+                    break;
+                }
+                case 1: {  // GATS broadcast round, script-agreed owner
+                    const Rank owner = static_cast<Rank>(script.below(n));
+                    if (p.rank() == owner) {
+                        if (nb) {
+                            win.istart(others);
+                        } else {
+                            win.start(others);
+                        }
+                        for (Rank t : others) {
+                            const std::int64_t v = value();
+                            win.put(std::span<const std::int64_t>(&v, 1), t,
+                                    slot());
+                        }
+                        if (nb) {
+                            rs.push_back(win.icomplete());
+                        } else {
+                            win.complete();
+                        }
+                    } else {
+                        const Rank g[] = {owner};
+                        if (nb) {
+                            win.ipost(g);
+                            rs.push_back(win.iwait_exposure());
+                        } else {
+                            win.post(g);
+                            win.wait_exposure();
+                        }
+                    }
+                    break;
+                }
+                case 2: {  // per-rank lock epoch, random target + flush
+                    const Rank t = static_cast<Rank>(rng.below(n));
+                    const auto type = rng.below(2) == 0 ? LockType::Exclusive
+                                                        : LockType::Shared;
+                    const std::int64_t v = value();
+                    if (nb) {
+                        win.ilock(type, t);
+                        win.accumulate(std::span<const std::int64_t>(&v, 1),
+                                       ReduceOp::Sum, t, slot());
+                        if (rng.below(3) == 0) rs.push_back(win.iflush(t));
+                        rs.push_back(win.iunlock(t));
+                    } else {
+                        win.lock(type, t);
+                        win.accumulate(std::span<const std::int64_t>(&v, 1),
+                                       ReduceOp::Sum, t, slot());
+                        if (rng.below(3) == 0) win.flush(t);
+                        win.unlock(t);
+                    }
+                    break;
+                }
+                case 3: {  // collective lock_all round
+                    if (nb) {
+                        win.ilock_all();
+                    } else {
+                        win.lock_all();
+                    }
+                    const std::int64_t v = value();
+                    win.put(std::span<const std::int64_t>(&v, 1),
+                            static_cast<Rank>(rng.below(n)), slot());
+                    if (nb) {
+                        rs.push_back(win.iunlock_all());
+                    } else {
+                        win.unlock_all();
+                    }
+                    break;
+                }
+            }
+        }
+        p.wait_all(rs);
+        win.fence(rma::kNoSucceed);
+        p.barrier();
+    });
+
+    EXPECT_GT(activations, 0u);
+    for (const auto& [key, sw] : shadow) {
+        EXPECT_TRUE(sw.deferred.empty())
+            << "rank " << key.first << " ended with "
+            << sw.deferred.size() << " epochs stuck in the deferred queue";
+        EXPECT_TRUE(sw.active.empty())
+            << "rank " << key.first << " ended with "
+            << sw.active.size() << " epochs never completed";
+    }
 }
 
 // ------------------------------------------------- counter monotonicity
