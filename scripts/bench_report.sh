@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Produces a single machine-readable benchmark report (BENCH_pr3.json by
-# default) from a Release build. The report keeps two strictly separated
+# Produces a single machine-readable benchmark report (BENCH_pr4.json by
+# default) from a Release build. The report keeps strictly separated
 # sections:
 #
 #   deterministic — values that must be byte-identical on every host,
@@ -8,28 +8,37 @@
 #       * sha256 of each figure bench's stdout (the virtual-time tables),
 #       * the scale_ranks "deterministic" JSON section verbatim.
 #     Diffing this section against a checked-in report is a regression
-#     test; any change means simulated results moved.
+#     test; any change means simulated results moved. Its sha256 must
+#     match the previous report's (BENCH_pr3.json) exactly.
+#
+#   deterministic_payload — same contract, but for the payload workload
+#     added in PR 4 (it lives outside `deterministic` so the fingerprint
+#     stays comparable across the PR boundary).
 #
 #   wall_clock — values that describe this host only and are expected to
 #     vary run-to-run:
 #       * google-benchmark results for micro_engine (JSON format),
-#       * the scale_ranks "wall_clock" JSON section,
+#       * the scale_ranks "wall_clock" JSON sections (rank sweep and the
+#         large-payload zero-copy workload),
 #       * per-figure-bench wall seconds.
 #
 # Usage: scripts/bench_report.sh [output.json] [build-dir]
-#   output.json  report path                    (default: BENCH_pr3.json)
+#   output.json  report path                    (default: BENCH_pr4.json)
 #   build-dir    out-of-tree Release build dir  (default: build-bench)
 #
 # Heavier knobs (env): NBE_BENCH_RANKS (default 64,128,256),
-# NBE_BENCH_LU_M (default 256) feed scale_ranks. The committed
-# BENCH_pr3.json was generated with the defaults.
+# NBE_BENCH_LU_M (default 256), NBE_BENCH_PAYLOAD_RANKS (default
+# 16,32,64), NBE_BENCH_PAYLOAD_BYTES (default 1048576) feed scale_ranks.
+# The committed BENCH_pr4.json was generated with the defaults.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-out_json="${1:-${repo_root}/BENCH_pr3.json}"
+out_json="${1:-${repo_root}/BENCH_pr4.json}"
 build_dir="${2:-${repo_root}/build-bench}"
 ranks="${NBE_BENCH_RANKS:-64,128,256}"
 lu_m="${NBE_BENCH_LU_M:-256}"
+payload_ranks="${NBE_BENCH_PAYLOAD_RANKS:-16,32,64}"
+payload_bytes="${NBE_BENCH_PAYLOAD_BYTES:-1048576}"
 
 command -v jq >/dev/null || { echo "bench_report: jq not found" >&2; exit 1; }
 
@@ -69,6 +78,14 @@ done
   --json="${tmp}/scale.json" >/dev/null
 echo "bench_report: scale_ranks done (ranks=${ranks})"
 
+# --- Large-payload zero-copy workload (PR 4): lock/put/unlock rings with
+# --- bulk payloads, the configuration the datapath speedup is claimed on.
+"${build_dir}/bench/scale_ranks" --workload=payload \
+  --ranks="${payload_ranks}" --iters=16 --payload-bytes="${payload_bytes}" \
+  --json="${tmp}/payload.json" >/dev/null
+echo "bench_report: scale_ranks payload done (ranks=${payload_ranks}," \
+     "bytes=${payload_bytes})"
+
 # --- Scheduler microbenchmarks: wall-clock by nature. Strip the context
 # --- block's date/load fields so reruns only differ where timings differ.
 "${build_dir}/bench/micro_engine" --benchmark_format=json \
@@ -84,20 +101,25 @@ echo "bench_report: micro_engine done"
 # --- cleanly across regenerations.
 jq -S -n \
   --slurpfile scale "${tmp}/scale.json" \
+  --slurpfile payload "${tmp}/payload.json" \
   --slurpfile figdet "${fig_det}" \
   --slurpfile figwall "${fig_wall}" \
   --slurpfile micro "${tmp}/micro_engine.trim.json" \
   --arg ranks "${ranks}" --arg lu_m "${lu_m}" \
+  --arg pranks "${payload_ranks}" --arg pbytes "${payload_bytes}" \
   '{
-     report: "nbe bench report (PR 3)",
-     params: {scale_ranks_ranks: $ranks, scale_ranks_lu_m: $lu_m},
+     report: "nbe bench report (PR 4)",
+     params: {scale_ranks_ranks: $ranks, scale_ranks_lu_m: $lu_m,
+              payload_ranks: $pranks, payload_bytes: $pbytes},
      deterministic: {
        figure_benches: $figdet[0],
        scale_ranks: $scale[0].deterministic
      },
+     deterministic_payload: $payload[0].deterministic,
      wall_clock: {
        figure_benches: $figwall[0],
        scale_ranks: $scale[0].wall_clock,
+       scale_payload: $payload[0].wall_clock,
        micro_engine: $micro[0]
      }
    }' >"${out_json}"

@@ -5,8 +5,9 @@
 # basic shape, both for byte-determinism across two identical runs — the
 # property that makes simulated traces diffable — and for byte-equivalence
 # between the fiber and thread scheduler backends (the fiber backend must
-# not perturb virtual-time results). Run alongside scripts/ci_sanitize.sh
-# in CI.
+# not perturb virtual-time results) and between the calendar and binary-heap
+# event queues (the bucketed calendar must preserve the exact (time, seq)
+# pop order). Run alongside scripts/ci_sanitize.sh in CI.
 #
 # Usage: scripts/ci_trace_check.sh [build-dir]
 #   build-dir   out-of-tree build directory  (default: build-trace)
@@ -23,8 +24,9 @@ cmake --build "${build_dir}" -j"$(nproc)" --target fig02_late_post
 out_dir="$(mktemp -d)"
 trap 'rm -rf "${out_dir}"' EXIT
 
-run_bench() {  # run_bench <tag> [backend]
-  NBE_SIM_BACKEND="${2:-}" "${build_dir}/bench/fig02_late_post" \
+run_bench() {  # run_bench <tag> [backend] [queue]
+  NBE_SIM_BACKEND="${2:-}" NBE_SIM_QUEUE="${3:-}" \
+    "${build_dir}/bench/fig02_late_post" \
     --trace="${out_dir}/$1-trace.json" \
     --metrics="${out_dir}/$1-metrics.json" >/dev/null
 }
@@ -33,6 +35,8 @@ run_bench a
 run_bench b
 run_bench fib fibers
 run_bench thr threads
+run_bench cal "" calendar
+run_bench hp "" heap
 
 # fig02 runs one job per mode; every exported file must validate.
 for f in "${out_dir}"/a-trace*.json; do
@@ -62,4 +66,12 @@ for f in "${out_dir}"/fib-*.json; do
     || { echo "ci_trace_check: backend divergence: $f vs $g" >&2; exit 1; }
 done
 
-echo "ci_trace_check: OK ($(ls "${out_dir}"/a-trace*.json | wc -l) traces validated, backends equivalent)"
+# The event queue is likewise invisible to results: the bucketed calendar
+# and the reference binary heap must export byte-identical traces/metrics.
+for f in "${out_dir}"/cal-*.json; do
+  g="${out_dir}/hp-${f##*/cal-}"
+  cmp -s "$f" "$g" \
+    || { echo "ci_trace_check: queue divergence: $f vs $g" >&2; exit 1; }
+done
+
+echo "ci_trace_check: OK ($(ls "${out_dir}"/a-trace*.json | wc -l) traces validated, backends and queues equivalent)"

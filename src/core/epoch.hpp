@@ -35,7 +35,7 @@ struct RmaOp {
     std::size_t reply_bytes = 0;          ///< Bytes returned (get family).
     TypeId type = TypeId::Byte;
     ReduceOp rop = ReduceOp::Replace;
-    std::vector<std::byte> data;          ///< Staged origin payload.
+    net::PayloadRef data;  ///< Staged origin payload (shared with the wire).
     std::byte* origin_out = nullptr;      ///< Result destination (get family).
     std::uint64_t origin_key = 0;         ///< Registration-cache key.
     std::shared_ptr<rt::RequestState> op_req;  ///< Request-based variant.

@@ -278,11 +278,16 @@ Request Rma::close_epoch(WinState& w, const EpochPtr& e) {
         e->close_req = rt::RequestState::failed(e->error);
         return Request(e->close_req);
     }
-    e->close_req = std::make_shared<rt::RequestState>();
-    e->close_req->set_label("close " + std::string(to_string(e->kind)) +
-                            " epoch(win " + std::to_string(w.id) + ", seq " +
-                            std::to_string(e->seq) + ") @ rank" +
-                            std::to_string(w.rank));
+    e->close_req = std::allocate_shared<rt::RequestState>(
+        sim::PoolAllocator<rt::RequestState>(w.req_pool));
+    // Lazy label: the string is built only if a process actually parks on
+    // this request (deadlock diagnostics path), not per close.
+    e->close_req->set_label_fn(
+        [kind = e->kind, win = w.id, seq = e->seq, rank = w.rank] {
+            return "close " + std::string(to_string(kind)) + " epoch(win " +
+                   std::to_string(win) + ", seq " + std::to_string(seq) +
+                   ") @ rank" + std::to_string(rank);
+        });
     Request out(e->close_req);
     if (e->phase == Epoch::Phase::Active) {
         drive_epoch(w, e);
@@ -806,7 +811,8 @@ Request Rma::iflush(Rank r, std::uint32_t win, Rank target, bool local_only) {
         activation_scan(w);
     }
     FlushReq f;
-    f.req = std::make_shared<rt::RequestState>();
+    f.req = std::allocate_shared<rt::RequestState>(
+        sim::PoolAllocator<rt::RequestState>(w.req_pool));
     f.target = target;
     f.local_only = local_only;
     f.age_limit = w.next_op_age - 1;  // the RMA call that immediately precedes
@@ -819,6 +825,7 @@ Request Rma::iflush(Rank r, std::uint32_t win, Rank target, bool local_only) {
         }
     }
     if (f.pending == 0) {
+        if (local_only) detach_borrowed_for_flush(w, f);
         f.req->complete(world_.engine());
     } else {
         w.flushes.push_back(f);
@@ -840,7 +847,10 @@ Request Rma::post_op(Rank r, std::uint32_t win, OpKind kind, Rank target,
             "request-based RMA calls require a passive-target epoch");
     }
     const std::size_t esz = type_size(type);
-    auto op = std::make_shared<RmaOp>();
+    // Pooled: control block + RmaOp recycle through w.op_pool, so the
+    // steady-state op stream performs no heap allocation here.
+    auto op =
+        std::allocate_shared<RmaOp>(sim::PoolAllocator<RmaOp>(w.op_pool));
     op->kind = kind;
     op->target = target;
     op->age = w.next_op_age++;
@@ -852,12 +862,25 @@ Request Rma::post_op(Rank r, std::uint32_t win, OpKind kind, Rank target,
     op->origin_key = reinterpret_cast<std::uintptr_t>(
         origin_in ? origin_in : origin_out);
 
+    // Zero-copy datapath: bulk Put/Accumulate payloads *borrow* the origin
+    // buffer, like RDMA reading registered memory — no staging copy, and
+    // every later hop (wire clone, dup, retransmit) shares the view by
+    // refcount. The usual eager/rendezvous split applies: payloads under
+    // kZeroCopyThreshold are eagerly staged (one small copy) so the app may
+    // reuse the buffer the moment the call returns; above it the bytes are
+    // read in place, and MPI's origin-buffer rule (no touching before
+    // local completion) is what keeps them stable. Everywhere the runtime
+    // reports local completion while the wire could still read the bytes
+    // (flush_local, epoch abort) it detaches the borrow into an owned copy
+    // first. The element-wise ops below always stage — CAS packs two
+    // scalars, and the win would be noise.
     switch (kind) {
         case OpKind::Put:
         case OpKind::Accumulate:
             op->bytes = count * esz;
-            op->data.resize(op->bytes);
-            std::memcpy(op->data.data(), origin_in, op->bytes);
+            op->data = op->bytes >= kZeroCopyThreshold
+                           ? net::PayloadRef::borrow(origin_in, op->bytes)
+                           : net::PayloadRef::copy_of(origin_in, op->bytes);
             break;
         case OpKind::Get:
             op->bytes = 0;
@@ -867,18 +890,19 @@ Request Rma::post_op(Rank r, std::uint32_t win, OpKind kind, Rank target,
         case OpKind::FetchAndOp:
             op->bytes = count * esz;
             op->reply_bytes = count * esz;
-            op->data.resize(op->bytes);
-            std::memcpy(op->data.data(), origin_in, op->bytes);
+            op->data = net::PayloadRef::copy_of(origin_in, op->bytes);
             break;
         case OpKind::CompareAndSwap:
             // data layout: [desired][compare], one element each.
             op->bytes = 2 * esz;
             op->reply_bytes = esz;
-            op->data.resize(op->bytes);
-            std::memcpy(op->data.data(), origin_in, 2 * esz);
+            op->data = net::PayloadRef::copy_of(origin_in, op->bytes);
             break;
     }
-    if (request_based) op->op_req = std::make_shared<rt::RequestState>();
+    if (request_based) {
+        op->op_req = std::allocate_shared<rt::RequestState>(
+            sim::PoolAllocator<rt::RequestState>(w.req_pool));
+    }
     record_op(w, e, op);
     return op->op_req ? Request(op->op_req) : Request();
 }
@@ -958,7 +982,7 @@ void Rma::issue_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
             p.header[2] = op->target_disp;
             p.header[3] = op->id;
             p.header[4] = pack_type_rop(op->type, op->rop);
-            p.payload = op->data;
+            p.payload = op->data;  // refcount share, not a copy
             world_.fabric().send(std::move(p));
             break;
         }
@@ -977,16 +1001,20 @@ void Rma::send_op_data(WinState& w, const EpochPtr& e, const OpPtr& op) {
     p.header[2] = op->target_disp;
     p.header[3] = 0;  // no reply
     p.header[4] = pack_type_rop(op->type, op->rop);
-    p.payload = std::move(op->data);
-    EpochPtr epoch = e;
-    OpPtr o = op;
-    p.on_acked = [this, &w, epoch, o](sim::Time) {
-        on_op_remote_complete(w, epoch, o);
+    // Share (don't move): the op must keep its ref so the flush_local /
+    // abort hooks can detach a borrowed payload while the wire still
+    // holds a view of it.
+    p.payload = op->data;
+    // Capture budget (SmallFn inline = 48B): this + &w + EpochPtr + raw
+    // RmaOp* = 40B. The EpochPtr keeps e->ops — and thereby *op — alive
+    // even if the epoch aborts while the packet is in flight.
+    p.on_acked = [this, &w, epoch = e, op_raw = op.get()](sim::Time) {
+        on_op_remote_complete(w, epoch, op_raw);
     };
     world_.fabric().send(std::move(p), pin_delay);
 }
 
-void Rma::on_op_remote_complete(WinState& w, const EpochPtr& e, const OpPtr& op) {
+void Rma::on_op_remote_complete(WinState& w, const EpochPtr& e, RmaOp* op) {
     if (op->remote_done) return;
     op->remote_done = true;
     const sim::Time now = world_.engine().now();
@@ -1017,10 +1045,26 @@ void Rma::note_op_completion_for_flushes(WinState& w, const RmaOp& op,
                              op.age <= f.age_limit &&
                              f.local_only == local_event;
         if (matches && f.pending > 0 && --f.pending == 0) {
+            if (f.local_only) detach_borrowed_for_flush(w, f);
             f.req->complete(world_.engine());
             it = w.flushes.erase(it);
         } else {
             ++it;
+        }
+    }
+}
+
+void Rma::detach_borrowed_for_flush(WinState& w, const FlushReq& f) {
+    for (const auto& e : w.open_app) {
+        if (e->kind != EpochKind::LockAll && e->kind != EpochKind::Lock) {
+            continue;
+        }
+        for (auto& op : e->ops) {
+            if (f.target >= 0 && op->target != f.target) continue;
+            if (op->age > f.age_limit) continue;
+            // Acked ops were already consumed at the target; only payloads
+            // the wire could still read need to be owned.
+            if (!op->remote_done) op->data.detach();
         }
     }
 }
@@ -1245,7 +1289,7 @@ void Rma::on_get_reply(WinState& w, net::Packet&& p) {
     }
     op->local_done = true;
     note_op_completion_for_flushes(w, *op, /*local_event=*/true);
-    on_op_remote_complete(w, e, op);
+    on_op_remote_complete(w, e, op.get());
 }
 
 void Rma::on_fence_done(WinState& w, std::uint64_t fence_seq) {
@@ -1327,6 +1371,10 @@ void Rma::abort_epoch(WinState& w, const EpochPtr& e, Status s) {
     // The epoch stays in open_app if the application has not closed it yet;
     // the eventual close returns the failure (see close_epoch).
     for (auto& op : e->ops) {
+        // The app resumes with an error and may free its origin buffers,
+        // but in-flight packets on still-healthy links can share them:
+        // copy any borrowed payload into owned storage before letting go.
+        op->data.detach();
         w.pending_replies.erase(op->id);
         w.pending_acc_rndv.erase(op->id);
         // Fail flushes that were counting this op before failing the op

@@ -29,6 +29,7 @@
 #include "core/types.hpp"
 #include "obs/obs.hpp"
 #include "rt/world.hpp"
+#include "sim/pool.hpp"
 
 namespace nbe::rma {
 
@@ -187,6 +188,15 @@ private:
         std::unordered_map<std::uint64_t, std::pair<EpochPtr, OpPtr>> pending_replies;
         std::unordered_map<std::uint64_t, std::pair<EpochPtr, OpPtr>> pending_acc_rndv;
         std::vector<FlushReq> flushes;
+
+        // Slab pools recycling the per-op / per-request shared state. Used
+        // with std::allocate_shared so the control block and the object land
+        // in one pooled block; steady-state RMA traffic then allocates
+        // nothing per op (ISSUE PR4).
+        std::shared_ptr<sim::BlockPool> op_pool =
+            sim::BlockPool::create("rma.op");
+        std::shared_ptr<sim::BlockPool> req_pool =
+            sim::BlockPool::create("rma.req");
     };
 
     WinState& ws(Rank r, std::uint32_t win);
@@ -225,9 +235,15 @@ private:
                                     const RmaOp& op) const;
     void issue_op(WinState& w, const EpochPtr& e, const OpPtr& op);
     void send_op_data(WinState& w, const EpochPtr& e, const OpPtr& op);
-    void on_op_remote_complete(WinState& w, const EpochPtr& e, const OpPtr& op);
+    /// `op` is a raw pointer so the packet-ack capture stays within the
+    /// SmallFn inline budget; the EpochPtr owns `e->ops`, keeping it alive.
+    void on_op_remote_complete(WinState& w, const EpochPtr& e, RmaOp* op);
     void note_op_completion_for_flushes(WinState& w, const RmaOp& op,
                                         bool local_event);
+    /// A completed local-only flush licenses the app to reuse the origin
+    /// buffers of every op it covered, possibly before the wire has read
+    /// them: copy those borrowed payloads into owned storage first.
+    void detach_borrowed_for_flush(WinState& w, const FlushReq& f);
 
     // ---- packet handling (the autonomous progress side) ----
     void handle_packet(Rank r, net::Packet&& p);
@@ -266,6 +282,12 @@ private:
     std::vector<std::vector<std::unique_ptr<WinState>>> wins_;  // [rank][win]
     std::vector<RmaStats> stats_;
     std::size_t acc_rndv_threshold_ = 8192;  ///< paper: >8 KB accumulates
+
+    /// Eager/rendezvous split for the zero-copy datapath: payloads at or
+    /// above this borrow the origin buffer (no staging copy; MPI's
+    /// origin-buffer rule keeps the bytes stable), smaller ones are
+    /// eagerly staged so the app can reuse its buffer immediately.
+    static constexpr std::size_t kZeroCopyThreshold = 16384;
     std::uint64_t diag_id_ = 0;
 
     // Observability: derived per-epoch/per-op histograms, cached from the

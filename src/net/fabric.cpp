@@ -10,18 +10,32 @@ namespace nbe::net {
 
 namespace {
 
-/// Copy of a packet for one wire transmission: payload and routing only.
-/// Completion callbacks stay with the sender-side authoritative copy so
-/// they fire exactly once however many times the frame crosses the wire.
+/// Copy of a packet for one wire transmission: routing fields only plus a
+/// *shared reference* to the payload — the bytes themselves are written
+/// once at packet creation and never copied per hop (retransmits and
+/// fault-injection duplicates bump a refcount instead). Completion
+/// callbacks stay with the sender-side authoritative copy so they fire
+/// exactly once however many times the frame crosses the wire.
 Packet wire_clone(const Packet& p) {
     Packet w;
     w.src = p.src;
     w.dst = p.dst;
     w.kind = p.kind;
     w.header = p.header;
-    w.payload = p.payload;
+    w.payload = p.payload;  // refcount bump, not a memcpy
     w.rel_seq = p.rel_seq;
     return w;
+}
+
+/// Corruption injection damages this wire copy only: mutable_data() does a
+/// copy-on-write when the buffer is shared (it always is here — the
+/// authoritative InFlight/sender copy holds a reference), so the original
+/// payload stays intact for retransmission. The receive path discards the
+/// frame before reading it; flipping real bytes keeps the COW machinery
+/// exercised under the fault-injection suite and sanitizers.
+void corrupt_wire_copy(Packet& w) {
+    w.wire_corrupt = true;
+    if (!w.payload.empty()) w.payload.mutable_data()[0] ^= std::byte{0xFF};
 }
 
 }  // namespace
@@ -37,6 +51,7 @@ Fabric::Fabric(sim::Engine& engine, int nranks, FabricConfig cfg)
       shm_tx_free_(static_cast<std::size_t>(nranks), 0),
       credits_(static_cast<std::size_t>(nranks), cfg.tx_credits),
       stalled_(static_cast<std::size_t>(nranks)),
+      pkt_pool_(sim::BlockPool::create("fabric.packet")),
       reg_(static_cast<std::size_t>(nranks)) {
     if (nranks <= 0) throw std::invalid_argument("Fabric: nranks must be > 0");
     if (cfg.ranks_per_node <= 0) {
@@ -124,16 +139,14 @@ void Fabric::send(Packet&& p, sim::Duration extra_src_delay) {
         f.pkt = std::move(p);
         f.extra_delay = extra_src_delay;
         f.internode = internode;
-        auto [it, inserted] = l.unacked.emplace(seq, std::move(f));
-        (void)inserted;
+        InFlight& fl = l.unacked.push_back(seq, std::move(f));
         if (internode) {
             auto& cr = credits_[asz(src)];
             if (cr == 0) {
                 ++stats_.credit_stalls;
                 if (auto* t = tracer()) {
                     t->instant(src, "fabric", "credit.stall",
-                               {{"dst", it->second.pkt.dst},
-                                {"kind", it->second.pkt.kind}});
+                               {{"dst", fl.pkt.dst}, {"kind", fl.pkt.kind}});
                 }
                 Stalled s;
                 s.reliable = true;
@@ -143,7 +156,7 @@ void Fabric::send(Packet&& p, sim::Duration extra_src_delay) {
                 return;
             }
             --cr;
-            it->second.credit_held = true;
+            fl.credit_held = true;
         }
         transmit_rel(l, key, seq);
         return;
@@ -215,44 +228,50 @@ void Fabric::transmit(Packet&& p, sim::Duration extra_src_delay) {
         return;
     }
     const sim::Time delivered_at = end + lat + jitter;
-    const sim::Time acked_at = delivered_at + lat;
 
     if (duplicated) {
         // The receiver has no sequence numbers here, so the duplicate is
         // processed as a fresh packet (handler only; no second ack/credit).
-        auto dup = std::make_shared<Packet>(wire_clone(p));
-        engine_.schedule_at(end + lat + dup_jitter, [this, dup] {
-            deliver_to_handler(std::move(*dup));
-        });
+        auto dup = sim::pool_make<Packet>(pkt_pool_, wire_clone(p));
+        engine_.schedule_at(end + lat + dup_jitter,
+                            [this, dup = std::move(dup)]() mutable {
+                                deliver_to_handler(std::move(*dup));
+                                dup.reset();
+                            });
     }
 
-    // shared_ptr: the event std::function must be copyable.
-    auto boxed = std::make_shared<Packet>(std::move(p));
-    engine_.schedule_at(delivered_at, [this, boxed, acked_at, corrupted] {
-        if (corrupted) {
-            // Checksum failure: discard above the wire. The (simulated)
-            // hardware ack still returns, so credits do not leak.
-            ++stats_.corrupt_detected;
-            const Rank src = boxed->src;
-            const bool inter = !same_node(boxed->src, boxed->dst);
-            engine_.schedule_at(acked_at, [this, src, inter] {
-                if (inter) return_credit(src);
-            });
-            return;
-        }
-        deliver(std::move(*boxed), acked_at);
+    // Pooled handle in a SmallFn: the delivery event allocates nothing.
+    auto boxed = sim::pool_make<Packet>(pkt_pool_, std::move(p));
+    if (corrupted) corrupt_wire_copy(*boxed);
+    engine_.schedule_at(delivered_at, [this, boxed = std::move(boxed)]() mutable {
+        on_delivered(std::move(boxed));
     });
 }
 
-void Fabric::deliver(Packet&& p, sim::Time acked_at) {
-    const Rank src = p.src;
-    const bool internode = !same_node(p.src, p.dst);
-    auto on_acked = std::move(p.on_acked);
-    deliver_to_handler(std::move(p));
-    engine_.schedule_at(acked_at, [this, src, internode,
-                                   cb = std::move(on_acked), acked_at] {
-        if (internode) return_credit(src);
-        if (cb) cb(acked_at);
+void Fabric::on_delivered(PacketPtr boxed) {
+    // Fires at delivered_at; the initiator-side completion (hardware ack)
+    // returns one more latency later.
+    const Rank src = boxed->src;
+    const bool internode = !same_node(boxed->src, boxed->dst);
+    const sim::Duration lat =
+        internode ? cfg_.inter_latency : cfg_.intra_latency;
+    if (boxed->wire_corrupt) {
+        // Checksum failure: discard above the wire. The (simulated)
+        // hardware ack still returns, so credits do not leak.
+        ++stats_.corrupt_detected;
+        engine_.schedule_after(lat, [this, src, internode] {
+            if (internode) return_credit(src);
+        });
+        return;
+    }
+    // Hand the wire fields to the destination handler; the pooled shell
+    // keeps on_acked alive for the completion event below.
+    deliver_to_handler(boxed->take_wire());
+    engine_.schedule_after(lat, [this, boxed = std::move(boxed)]() mutable {
+        const bool inter = !same_node(boxed->src, boxed->dst);
+        if (inter) return_credit(boxed->src);
+        if (boxed->on_acked) boxed->on_acked(engine_.now());
+        boxed.reset();
     });
 }
 
@@ -271,7 +290,7 @@ void Fabric::deliver_to_handler(Packet&& p) {
 // ------------------------------------------------------------ reliable path
 
 void Fabric::transmit_rel(LinkState& l, std::uint64_t key, std::uint64_t seq) {
-    InFlight& f = l.unacked.at(seq);
+    InFlight& f = *l.unacked.find(seq);
     const Rank src = f.pkt.src;
     const Rank dst = f.pkt.dst;
     const bool internode = !same_node(src, dst);
@@ -314,17 +333,18 @@ void Fabric::transmit_rel(LinkState& l, std::uint64_t key, std::uint64_t seq) {
     if (dropped) {
         ++stats_.drops_injected;
     } else {
-        auto boxed = std::make_shared<Packet>(wire_clone(f.pkt));
+        auto boxed = sim::pool_make<Packet>(pkt_pool_, wire_clone(f.pkt));
+        if (corrupted) corrupt_wire_copy(*boxed);
         engine_.schedule_at(end + lat + jitter,
-                            [this, key, seq, corrupted, boxed] {
-                                deliver_rel(key, seq, corrupted,
-                                            std::move(*boxed));
+                            [this, boxed = std::move(boxed)]() mutable {
+                                on_wire_rel(std::move(boxed));
                             });
         if (duplicated) {
-            auto dup = std::make_shared<Packet>(wire_clone(f.pkt));
-            engine_.schedule_at(end + lat + dup_jitter, [this, key, seq, dup] {
-                deliver_rel(key, seq, /*corrupted=*/false, std::move(*dup));
-            });
+            auto dup = sim::pool_make<Packet>(pkt_pool_, wire_clone(f.pkt));
+            engine_.schedule_at(end + lat + dup_jitter,
+                                [this, dup = std::move(dup)]() mutable {
+                                    on_wire_rel(std::move(dup));
+                                });
         }
     }
 
@@ -335,6 +355,18 @@ void Fabric::transmit_rel(LinkState& l, std::uint64_t key, std::uint64_t seq) {
     const std::uint64_t gen = ++f.timer_gen;
     engine_.schedule_at(end + 2 * lat + static_cast<sim::Duration>(margin),
                         [this, key, seq, gen] { on_timeout(key, seq, gen); });
+}
+
+void Fabric::on_wire_rel(PacketPtr wire) {
+    // The wire copy carries everything the receive path needs; recover the
+    // link key and sequence from it so the delivery event's capture is just
+    // {this, handle}.
+    const std::uint64_t key = link_key(wire->src, wire->dst);
+    const std::uint64_t seq = wire->rel_seq;
+    const bool corrupted = wire->wire_corrupt;
+    Packet w = wire->take_wire();
+    wire.reset();  // shell back to the pool before handler-driven sends
+    deliver_rel(key, seq, corrupted, std::move(w));
 }
 
 void Fabric::deliver_rel(std::uint64_t key, std::uint64_t seq, bool corrupted,
@@ -357,12 +389,13 @@ void Fabric::deliver_rel(std::uint64_t key, std::uint64_t seq, bool corrupted,
     } else if (seq == l.rx_next) {
         ++l.rx_next;
         ready.push_back(std::move(wire));
-        while (!l.rx_ooo.empty() && l.rx_ooo.begin()->first == l.rx_next) {
-            ready.push_back(std::move(l.rx_ooo.begin()->second));
-            l.rx_ooo.erase(l.rx_ooo.begin());
+        Packet next;
+        while (l.rx_ooo.take(l.rx_next, next)) {
+            ready.push_back(std::move(next));
             ++l.rx_next;
         }
-    } else if (!l.rx_ooo.emplace(seq, std::move(wire)).second) {
+        l.rx_ooo.advance_base(l.rx_next);
+    } else if (!l.rx_ooo.insert(seq, std::move(wire))) {
         ++stats_.dup_delivered;
     }
     send_ack(key, l);
@@ -391,9 +424,9 @@ void Fabric::on_ack(std::uint64_t key, std::uint64_t upto) {
     if (l.failed || upto <= l.acked) return;
     l.acked = upto;
     std::vector<InFlight> completed;
-    while (!l.unacked.empty() && l.unacked.begin()->first <= upto) {
-        completed.push_back(std::move(l.unacked.begin()->second));
-        l.unacked.erase(l.unacked.begin());
+    while (!l.unacked.empty() && l.unacked.front_seq() <= upto) {
+        completed.push_back(std::move(l.unacked.front()));
+        l.unacked.pop_front();
     }
     // Callbacks and credit returns may re-enter the fabric; `l` is dead
     // from here on.
@@ -410,9 +443,9 @@ void Fabric::on_timeout(std::uint64_t key, std::uint64_t seq,
     if (it == links_.end()) return;
     LinkState& l = it->second;
     if (l.failed) return;
-    auto uit = l.unacked.find(seq);
-    if (uit == l.unacked.end()) return;       // acked in the meantime
-    InFlight& f = uit->second;
+    InFlight* uit = l.unacked.find(seq);
+    if (uit == nullptr) return;  // acked in the meantime
+    InFlight& f = *uit;
     if (f.timer_gen != gen) return;           // superseded by a retransmission
     if (f.retries >= cfg_.reliability.max_retries) {
         fail_link(key, l, seq);
@@ -449,19 +482,23 @@ void Fabric::fail_link(std::uint64_t key, LinkState& l,
                            }),
             q.end());
 
-    std::map<std::uint64_t, InFlight> pending;
-    pending.swap(l.unacked);
+    std::vector<InFlight> pending;
+    const std::uint64_t first_seq = l.unacked.drain_to(pending);
     l.rx_ooo.clear();
     // `l` must not be used past this point: credit returns below can
     // transmit stalled packets and rehash links_.
-    for (auto& [seq, f] : pending) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        InFlight& f = pending[i];
+        const std::uint64_t seq = first_seq + i;
         const Status st =
             seq == trigger_seq ? NBE_ERR_TIMEOUT : NBE_ERR_LINK_DOWN;
         if (f.credit_held) return_credit(src);
         if (f.pkt.on_error) {
+            // Cold path: the moved SmallFn capture exceeds the inline
+            // budget, which is fine — link failure is not steady state.
             engine_.schedule_at(
                 engine_.now(),
-                [cb = std::move(f.pkt.on_error), st] { cb(st); });
+                [cb = std::move(f.pkt.on_error), st]() mutable { cb(st); });
         }
     }
     if (link_down_handler_) {
@@ -473,7 +510,7 @@ void Fabric::fail_link(std::uint64_t key, LinkState& l,
 void Fabric::fail_packet(Packet&& p, Status s) {
     if (!p.on_error) return;
     engine_.schedule_at(engine_.now(),
-                        [cb = std::move(p.on_error), s] { cb(s); });
+                        [cb = std::move(p.on_error), s]() mutable { cb(s); });
 }
 
 // ------------------------------------------------------------------ credits
@@ -485,11 +522,11 @@ void Fabric::return_credit(Rank src) {
         q.pop_front();
         if (s.reliable) {
             auto it = links_.find(s.link_key);
-            if (it == links_.end() || it->second.failed ||
-                it->second.unacked.find(s.seq) == it->second.unacked.end()) {
-                continue;  // stale entry (link failed meanwhile)
-            }
-            it->second.unacked.at(s.seq).credit_held = true;
+            InFlight* f = it == links_.end() || it->second.failed
+                              ? nullptr
+                              : it->second.unacked.find(s.seq);
+            if (f == nullptr) continue;  // stale entry (link failed meanwhile)
+            f->credit_held = true;
             transmit_rel(it->second, s.link_key, s.seq);
         } else {
             transmit(std::move(s.packet), s.extra_delay);

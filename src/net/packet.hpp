@@ -2,18 +2,25 @@
 //
 // The fabric is deliberately payload-agnostic: `kind` and `header` are
 // interpreted by the layer above (two-sided runtime or RMA engine). Bulk
-// data rides in `payload`; control packets leave it empty and are accounted
-// at a fixed small wire size, mirroring the 64-bit notification packets the
-// paper's design exchanges between windows.
+// data rides in `payload` — a refcounted immutable buffer, so wire clones,
+// fault-injection duplicates and retransmissions share one allocation;
+// control packets leave it empty and are accounted at a fixed small wire
+// size, mirroring the 64-bit notification packets the paper's design
+// exchanges between windows.
+//
+// Packets are move-only: the completion callbacks are SmallFn (inline
+// storage, move-only) so an in-flight packet never forces a heap-allocated
+// closure or a copyable-callable constraint.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <vector>
+#include <utility>
 
+#include "net/payload.hpp"
 #include "net/status.hpp"
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace nbe::net {
@@ -23,24 +30,43 @@ using Rank = int;
 struct Packet {
     Rank src = -1;
     Rank dst = -1;
-    std::uint32_t kind = 0;                  ///< Upper-layer discriminator.
-    std::array<std::uint64_t, 6> header{};   ///< Small control fields.
-    std::vector<std::byte> payload;          ///< Bulk data (may be empty).
+    std::uint32_t kind = 0;                 ///< Upper-layer discriminator.
+    std::array<std::uint64_t, 6> header{};  ///< Small control fields.
+    PayloadRef payload;                     ///< Bulk data (may be empty).
 
     /// Invoked on the source side once the destination has the packet and
     /// the (simulated) hardware ack has returned — the moment an RDMA
     /// initiator would see a work completion for this transfer.
-    std::function<void(sim::Time acked_at)> on_acked;
+    sim::SmallFn<void(sim::Time acked_at)> on_acked;
 
     /// Invoked on the source side if the fabric gives up on delivery (link
     /// declared failed, or a send posted on an already-failed link). Exactly
     /// one of on_acked / on_error fires per packet when the reliability
     /// sublayer is enabled.
-    std::function<void(Status)> on_error;
+    sim::SmallFn<void(Status)> on_error;
 
     /// Reliable-delivery sequence number; assigned by the fabric, opaque to
     /// upper layers.
     std::uint64_t rel_seq = 0;
+
+    /// Wire-side corruption mark set by fault injection on this copy of the
+    /// frame; the receive path discards marked frames (checksum failure).
+    bool wire_corrupt = false;
+
+    /// Splits the wire-visible fields (shared payload included) from the
+    /// source-side completion callbacks: the returned packet goes to the
+    /// destination handler while this shell keeps on_acked/on_error alive
+    /// for the ack event.
+    [[nodiscard]] Packet take_wire() {
+        Packet w;
+        w.src = src;
+        w.dst = dst;
+        w.kind = kind;
+        w.header = header;
+        w.payload = std::move(payload);
+        w.rel_seq = rel_seq;
+        return w;
+    }
 };
 
 }  // namespace nbe::net

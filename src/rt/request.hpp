@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "net/status.hpp"
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 
 namespace nbe::rt {
@@ -42,8 +43,18 @@ public:
 
     /// Labels what this request stands for ("icomplete(win 0, seq 3)");
     /// surfaced by the deadlock diagnostics while a process waits on it.
-    void set_label(std::string label) { label_ = std::move(label); }
-    [[nodiscard]] const std::string& label() const noexcept { return label_; }
+    void set_label(std::string label) {
+        label_fn_ = [s = std::move(label)] { return s; };
+    }
+    /// Lazy variant: the label string is rendered only if a process actually
+    /// parks on this request (or diagnostics ask for it), which keeps string
+    /// formatting off the steady-state completion path.
+    void set_label_fn(sim::SmallFn<std::string()> fn) {
+        label_fn_ = std::move(fn);
+    }
+    [[nodiscard]] std::string label() const {
+        return label_fn_ ? label_fn_() : std::string();
+    }
 
     /// Observability hook: invoked once, with the virtual enter/exit times
     /// of the first wait() that returns after the observer is installed.
@@ -59,7 +70,10 @@ public:
     Status wait(sim::Process& p) {
         const sim::Time enter = p.now();
         if (!complete_) {
-            p.set_blocked_on(label_.empty() ? "request wait" : label_);
+            // The label is rendered only here, when the process actually
+            // parks — completed-at-wait requests never pay for the string.
+            std::string lbl = label();
+            p.set_blocked_on(lbl.empty() ? "request wait" : std::move(lbl));
             cond_.wait_until(p, [this] { return complete_; });
         }
         if (wait_observer_) {
@@ -70,18 +84,27 @@ public:
         return status_;
     }
 
-    /// Creates a state that is already complete — the paper's "dummy request
-    /// flagged as completed at creation time" returned by every nonblocking
-    /// epoch-*opening* routine (Section VII-C).
-    static std::shared_ptr<RequestState> completed() {
-        auto st = std::make_shared<RequestState>();
-        st->complete_ = true;
+    /// The state behind the paper's "dummy request flagged as completed at
+    /// creation time" returned by every nonblocking epoch-*opening* routine
+    /// (Section VII-C). A single shared immutable instance: finish() is a
+    /// no-op on it, wait() returns without parking, and no call site attaches
+    /// labels or observers to an already-completed request — so every dummy
+    /// can alias one state instead of allocating per call.
+    static const std::shared_ptr<RequestState>& completed() {
+        static const std::shared_ptr<RequestState> st = [] {
+            auto s = std::make_shared<RequestState>();
+            s->complete_ = true;
+            return s;
+        }();
         return st;
     }
 
-    /// Creates a state that is already complete with an error.
+    /// Creates a state that is already complete with an error. Always a
+    /// fresh instance — the status differs per failure and must never be
+    /// written into the shared completed() singleton.
     static std::shared_ptr<RequestState> failed(Status s) {
-        auto st = completed();
+        auto st = std::make_shared<RequestState>();
+        st->complete_ = true;
         st->status_ = s;
         return st;
     }
@@ -97,7 +120,7 @@ private:
 
     bool complete_ = false;
     Status status_ = NBE_SUCCESS;
-    std::string label_;
+    mutable sim::SmallFn<std::string()> label_fn_;
     WaitObserver wait_observer_;
     sim::Condition cond_;
 };

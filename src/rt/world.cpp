@@ -4,6 +4,10 @@
 #include <cstring>
 #include <string>
 
+#include "net/payload.hpp"
+#include "sim/callback.hpp"
+#include "sim/pool.hpp"
+
 namespace nbe::rt {
 
 World::World(JobConfig cfg)
@@ -42,6 +46,37 @@ World::World(JobConfig cfg)
             .set(static_cast<std::uint64_t>(mpi_total));
         reg.counter("rt.total.mpi_calls").set(calls_total);
         reg.counter("rt.total.protocol_errors").set(errors_total);
+    });
+    // Zero-copy datapath accounting: slab pools (aggregated by name, sorted
+    // for deterministic output), the shared payload-buffer pool, and the
+    // inline-callback heap-fallback count. The payload pool and the
+    // fallback counter are process-global; reset them here so each job's
+    // metrics are self-contained and identical across repeat runs in one
+    // process (the slab pools are per-World already).
+    net::payload_pool_reset();
+    sim::smallfn_heap_fallbacks() = 0;
+    obs_.metrics().add_publisher([](obs::Registry& reg) {
+        for (const auto& s : sim::PoolRegistry::instance().snapshot()) {
+            const std::string p = "mem.pool." + s.name + ".";
+            reg.counter(p + "allocs").set(s.stats.allocs);
+            reg.counter(p + "chunk_allocs").set(s.stats.chunk_allocs);
+            reg.counter(p + "oversize").set(s.stats.oversize);
+            reg.gauge(p + "live").set(static_cast<double>(s.stats.live));
+            reg.gauge(p + "free")
+                .set(static_cast<double>(s.stats.free_blocks));
+        }
+        const net::PayloadPoolStats& ps = net::payload_pool_stats();
+        reg.counter("mem.payload.buffers_created").set(ps.buffers_created);
+        reg.counter("mem.payload.acquires").set(ps.acquires);
+        reg.counter("mem.payload.cow_copies").set(ps.cow_copies);
+        reg.counter("mem.payload.bytes_copied").set(ps.bytes_copied);
+        reg.counter("mem.payload.borrows").set(ps.borrows);
+        reg.counter("mem.payload.detach_copies").set(ps.detach_copies);
+        reg.gauge("mem.payload.live").set(static_cast<double>(ps.live));
+        reg.gauge("mem.payload.free")
+            .set(static_cast<double>(ps.free_buffers));
+        reg.counter("mem.smallfn.heap_fallbacks")
+            .set(sim::smallfn_heap_fallbacks());
     });
 }
 
@@ -141,21 +176,21 @@ Request World::isend(Rank src, const void* buf, std::size_t n, Rank dst,
         p.kind = kEager;
         p.header[0] = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
         p.header[2] = n;
-        p.payload.resize(n);
-        if (n > 0) std::memcpy(p.payload.data(), buf, n);
+        if (n > 0) p.payload = net::PayloadRef::copy_of(buf, n);
         fabric_.send(std::move(p));
         return Request(RequestState::completed());  // buffered at the source
     }
     // Rendezvous: RTS now, data after CTS.
     const std::uint64_t id = c.next_id++;
     SendOp op;
-    op.data.resize(n);
-    std::memcpy(op.data.data(), buf, n);
+    op.data = net::PayloadRef::copy_of(buf, n);  // single staging copy
     op.dst = dst;
     op.req = std::make_shared<RequestState>();
-    op.req->set_label("send(dst=" + std::to_string(dst) +
-                      ", tag=" + std::to_string(tag) +
-                      ", n=" + std::to_string(n) + ")");
+    op.req->set_label_fn([dst, tag, n] {
+        return "send(dst=" + std::to_string(dst) +
+               ", tag=" + std::to_string(tag) + ", n=" + std::to_string(n) +
+               ")";
+    });
     Request out(op.req);
     c.rndv_send.emplace(id, std::move(op));
 
@@ -181,9 +216,11 @@ Request World::irecv(Rank dst, void* buf, std::size_t cap, Rank src, int tag,
     op->got = got;
     op->id = c.next_id++;
     op->req = std::make_shared<RequestState>();
-    op->req->set_label(
-        "recv(src=" + (src == kAnySource ? "any" : std::to_string(src)) +
-        ", tag=" + (tag == kAnyTag ? "any" : std::to_string(tag)) + ")");
+    op->req->set_label_fn([src, tag] {
+        return "recv(src=" +
+               (src == kAnySource ? "any" : std::to_string(src)) + ", tag=" +
+               (tag == kAnyTag ? "any" : std::to_string(tag)) + ")";
+    });
 
     // Try the unexpected queue first (oldest match wins).
     for (auto it = c.unexpected.begin(); it != c.unexpected.end(); ++it) {

@@ -105,11 +105,11 @@ private:
         bool rndv = false;
         std::uint64_t send_id = 0;
         std::size_t size = 0;
-        std::vector<std::byte> data;
+        net::PayloadRef data;  ///< shares the arriving packet's buffer
     };
 
     struct SendOp {
-        std::vector<std::byte> data;
+        net::PayloadRef data;  ///< staged once; the wire shares it
         Rank dst = -1;
         std::shared_ptr<RequestState> req;
     };

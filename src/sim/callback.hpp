@@ -1,0 +1,142 @@
+// Small-buffer-optimized move-only callable, sized for the DES hot path.
+//
+// Every simulator event used to carry a std::function<void()>, which heap-
+// allocates for any capture larger than (typically) two pointers. The event
+// and packet callbacks in this codebase are all small — {this, pooled
+// handle} or {this, a couple of scalars} — so SmallFn gives them 48 bytes
+// of inline storage and only falls back to the heap for oversized captures.
+// Fallbacks are globally counted so the allocation-regression test can
+// assert the steady-state datapath never takes one.
+//
+// Unlike std::function, SmallFn is move-only: it can therefore hold
+// move-only captures (pool handles, unique ownership), which is what lets
+// the fabric stop boxing every in-flight Packet in a shared_ptr.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nbe::sim {
+
+/// Callables whose capture exceeded the inline buffer (process-global,
+/// monotonic). Cold paths may legitimately take the fallback; hot-path
+/// tests assert this stays flat across a steady-state window.
+inline std::uint64_t& smallfn_heap_fallbacks() noexcept {
+    static std::uint64_t n = 0;
+    return n;
+}
+
+inline constexpr std::size_t kSmallFnInlineBytes = 48;
+
+template <class Sig>
+class SmallFn;  // primary template intentionally undefined
+
+template <class R, class... Args>
+class SmallFn<R(Args...)> {
+public:
+    SmallFn() noexcept = default;
+    SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+    template <class F,
+              class = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+    SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+        using Fn = std::remove_cvref_t<F>;
+        if constexpr (fits<Fn>()) {
+            ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+            vt_ = &kInlineVt<Fn>;
+        } else {
+            ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+            vt_ = &kHeapVt<Fn>;
+            ++smallfn_heap_fallbacks();
+        }
+    }
+
+    SmallFn(SmallFn&& o) noexcept { steal(o); }
+    SmallFn& operator=(SmallFn&& o) noexcept {
+        if (this != &o) {
+            reset();
+            steal(o);
+        }
+        return *this;
+    }
+    SmallFn& operator=(std::nullptr_t) noexcept {
+        reset();
+        return *this;
+    }
+    SmallFn(const SmallFn&) = delete;
+    SmallFn& operator=(const SmallFn&) = delete;
+    ~SmallFn() { reset(); }
+
+    void reset() noexcept {
+        if (vt_ != nullptr) {
+            vt_->destroy(buf_);
+            vt_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+    R operator()(Args... args) {
+        return vt_->invoke(buf_, std::forward<Args>(args)...);
+    }
+
+private:
+    struct VTable {
+        R (*invoke)(void*, Args&&...);
+        // Move-construct into dst and destroy src (trivial pointer copy for
+        // the heap representation; ownership travels with the pointer).
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    // Inline storage additionally requires a nothrow move so relocation
+    // (vector growth inside the event queue) can stay noexcept.
+    template <class Fn>
+    static constexpr bool fits() {
+        return sizeof(Fn) <= kSmallFnInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <class Fn>
+    static constexpr VTable kInlineVt = {
+        [](void* s, Args&&... a) -> R {
+            return (*static_cast<Fn*>(s))(std::forward<Args>(a)...);
+        },
+        [](void* src, void* dst) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+    };
+
+    template <class Fn>
+    static constexpr VTable kHeapVt = {
+        [](void* s, Args&&... a) -> R {
+            return (**static_cast<Fn**>(s))(std::forward<Args>(a)...);
+        },
+        [](void* src, void* dst) noexcept {
+            std::memcpy(dst, src, sizeof(Fn*));
+        },
+        [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+    };
+
+    void steal(SmallFn& o) noexcept {
+        if (o.vt_ != nullptr) {
+            o.vt_->relocate(o.buf_, buf_);
+            vt_ = o.vt_;
+            o.vt_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte buf_[kSmallFnInlineBytes];
+    const VTable* vt_ = nullptr;
+};
+
+}  // namespace nbe::sim

@@ -188,11 +188,9 @@ void Engine::shutdown() {
         if (!p->finished()) p->kill();
     }
     processes_.clear();  // releases fibers / joins threads
-}
-
-void Engine::schedule_at(Time at, std::function<void()> fn) {
-    if (at < now_) at = now_;
-    queue_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+    // Drop pending events too: their closures may hold pooled resources
+    // (packets, epochs) whose owners are being torn down alongside us.
+    queue_.clear();
 }
 
 void Engine::schedule_process(Time at, Process* p) {
@@ -212,22 +210,16 @@ Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
 void Engine::run() {
     running_ = true;
     while (!queue_.empty() && !have_failure_) {
-        // priority_queue::top() is const; move out via const_cast on the
-        // callable only (the key fields stay untouched before pop).
-        auto& top = const_cast<Event&>(queue_.top());
-        const Time at = top.at;
-        Process* proc = top.proc;
-        auto fn = std::move(top.fn);
-        queue_.pop();
-        now_ = at;
+        Event ev = queue_.pop();
+        now_ = ev.at;
         ++executed_;
-        if (proc != nullptr) {
-            proc->resume();
-            if (proc->failed_) {
-                note_failure(proc->name_ + ": " + proc->failure_);
+        if (ev.proc != nullptr) {
+            ev.proc->resume();
+            if (ev.proc->failed_) {
+                note_failure(ev.proc->name_ + ": " + ev.proc->failure_);
             }
         } else {
-            fn();
+            ev.fn();
         }
     }
     running_ = false;

@@ -31,11 +31,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/calendar.hpp"
 #include "sim/time.hpp"
 
 namespace nbe::sim {
@@ -148,7 +149,9 @@ public:
     /// Threads (an explicit env value still wins there).
     [[nodiscard]] static Backend env_backend();
 
-    explicit Engine(Backend backend = env_backend()) : backend_(backend) {}
+    explicit Engine(Backend backend = env_backend(),
+                    EventQueue::Kind queue_kind = EventQueue::kind_from_env())
+        : backend_(backend), queue_(queue_kind) {}
     ~Engine();
 
     Engine(const Engine&) = delete;
@@ -160,12 +163,19 @@ public:
 
     /// Schedule `fn` to run on the engine context at absolute time `at`
     /// (clamped to now). Callable from the engine or from the currently
-    /// running process.
-    void schedule_at(Time at, std::function<void()> fn);
+    /// running process. Accepts any callable, including move-only ones;
+    /// captures up to kSmallFnInlineBytes stay allocation-free.
+    template <class F>
+    void schedule_at(Time at, F&& fn) {
+        if (at < now_) at = now_;
+        queue_.push(Event{at, next_seq_++, nullptr,
+                          SmallFn<void()>(std::forward<F>(fn))});
+    }
 
     /// Schedule `fn` after a delay from now.
-    void schedule_after(Duration d, std::function<void()> fn) {
-        schedule_at(now_ + (d < 0 ? 0 : d), std::move(fn));
+    template <class F>
+    void schedule_after(Duration d, F&& fn) {
+        schedule_at(now_ + (d < 0 ? 0 : d), std::forward<F>(fn));
     }
 
     /// Hot path: schedule `p` to be resumed at absolute time `at` (clamped
@@ -195,6 +205,16 @@ public:
     /// Number of events executed so far (diagnostics).
     [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
+    /// Event-queue tier statistics (diagnostics / tests). Intentionally not
+    /// exported through obs metrics: the queue implementation is a pure
+    /// execution-strategy choice and must not perturb exported output.
+    [[nodiscard]] const EventQueue::Stats& queue_stats() const noexcept {
+        return queue_.stats();
+    }
+    [[nodiscard]] EventQueue::Kind queue_kind() const noexcept {
+        return queue_.kind();
+    }
+
     /// Internal: records the first process failure; run() rethrows it.
     void note_failure(std::string what);
 
@@ -209,24 +229,11 @@ public:
 private:
     friend class Process;
 
-    struct Event {
-        Time at;
-        std::uint64_t seq;
-        Process* proc;  ///< non-null: resume this process; fn is empty
-        std::function<void()> fn;
-    };
-    struct EventOrder {
-        bool operator()(const Event& a, const Event& b) const noexcept {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;  // FIFO among same-time events
-        }
-    };
-
     Backend backend_;
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    EventQueue queue_;
     std::vector<std::unique_ptr<Process>> processes_;
     bool running_ = false;
     bool have_failure_ = false;
