@@ -28,4 +28,9 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 # plain CI build exercises fibers.
 export NBE_SIM_BACKEND=threads
 
+# Run the sanitized suite with the semantics checker live: its shadow
+# interval trees and record rendering are themselves worth sanitizing, and
+# checked runs walk extra code in every epoch path.
+export NBE_CHECK=1
+
 ctest --test-dir "${build_dir}" -j"$(nproc)" --output-on-failure

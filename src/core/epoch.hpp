@@ -41,6 +41,13 @@ struct RmaOp {
     std::shared_ptr<rt::RequestState> op_req;  ///< Request-based variant.
     sim::Time posted_at = 0;  ///< Virtual time the RMA call was recorded.
     sim::Time issued_at = 0;  ///< Virtual time the transfer was issued.
+    /// Accumulate-family program-order index toward this op's target within
+    /// its epoch (1-based; 0 for non-accumulate ops). MPI orders accumulate
+    /// ops from the same origin to the same target; the issue path holds an
+    /// accumulate back until every earlier one has put its data on the wire
+    /// (rendezvous transfers and MVAPICH eager/batch mixes would otherwise
+    /// overtake).
+    std::uint32_t acc_seq = 0;
     bool issued = false;
     bool local_done = false;
     bool remote_done = false;
@@ -139,6 +146,12 @@ struct PeerState {
     /// without rescanning the whole epoch (targeted drive).
     std::vector<OpPtr> pending;
     std::size_t issue_cursor = 0;
+    /// Accumulate-family ordering toward this peer: count recorded (assigns
+    /// RmaOp::acc_seq) and count whose data has reached the wire. An
+    /// accumulate may only issue when acc_sent has caught up to every
+    /// earlier accumulate (RmaOp::acc_seq == acc_sent + 1).
+    std::uint32_t acc_recorded = 0;
+    std::uint32_t acc_sent = 0;
 };
 
 /// An epoch object. Created inactive ("deferred"); the progress engine

@@ -122,6 +122,7 @@ Rma::Rma(rt::World& world)
             reg.counter(p + "sweeps").set(s.sweeps);
             reg.counter(p + "epochs_aborted").set(s.epochs_aborted);
             reg.counter(p + "protocol_errors").set(s.protocol_errors);
+            reg.counter(p + "acc_rndv").set(s.acc_rndv);
             reg.gauge(p + "max_active_epochs")
                 .set(static_cast<double>(s.max_active_epochs));
             reg.gauge(p + "max_deferred_epochs")
@@ -136,6 +137,7 @@ Rma::Rma(rt::World& world)
             tot.sweeps += s.sweeps;
             tot.epochs_aborted += s.epochs_aborted;
             tot.protocol_errors += s.protocol_errors;
+            tot.acc_rndv += s.acc_rndv;
             tot.max_active_epochs =
                 std::max(tot.max_active_epochs, s.max_active_epochs);
             tot.max_deferred_epochs =
@@ -152,6 +154,7 @@ Rma::Rma(rt::World& world)
         reg.counter("rma.total.sweeps").set(tot.sweeps);
         reg.counter("rma.total.epochs_aborted").set(tot.epochs_aborted);
         reg.counter("rma.total.protocol_errors").set(tot.protocol_errors);
+        reg.counter("rma.total.acc_rndv").set(tot.acc_rndv);
         reg.gauge("rma.total.max_active_epochs")
             .set(static_cast<double>(tot.max_active_epochs));
         reg.gauge("rma.total.max_deferred_epochs")
@@ -178,8 +181,12 @@ std::uint32_t Rma::create_window(Rank r, std::size_t bytes, const WinInfo& info)
     w->e.assign(n, 0);
     w->g.assign(n, 0);
     w->lock_grants.assign(n, 0);
+    w->fence_done_from.assign(n, 0);
     w->done.assign(n, DoneTracker{});
     per_rank.push_back(std::move(w));
+    if (auto* ck = world_.checker()) {
+        ck->add_window(r, per_rank.back()->id, bytes);
+    }
     return per_rank.back()->id;
 }
 
@@ -241,6 +248,9 @@ EpochPtr Rma::open_epoch(WinState& w, EpochKind kind, LockType lt,
                     {"seq", i64(e->seq)},
                     {"peers", i64(e->peers.size())}});
     }
+    if (auto* ck = world_.checker()) {
+        ck->epoch_open(w.rank, w.id, kind, e->seq, e->peers);
+    }
 
     // An epoch opened toward an already-dead peer can never complete: abort
     // it at creation so its close returns an error instead of deadlocking.
@@ -264,7 +274,14 @@ EpochPtr Rma::open_epoch(WinState& w, EpochKind kind, LockType lt,
 
 Request Rma::close_epoch(WinState& w, const EpochPtr& e) {
     NBE_TRACE("[%ld] r%d w%u close seq=%lu kind=%s phase=%d", (long)world_.engine().now(), w.rank, w.id, (unsigned long)e->seq, to_string(e->kind), (int)e->phase);
-    if (e->closed_app) throw std::logic_error("epoch closed twice");
+    if (e->closed_app) {
+        if (auto* ck = world_.checker()) {
+            ck->usage_error(w.rank, w.id, "epoch closed twice",
+                            std::string(to_string(e->kind)) + " seq " +
+                                std::to_string(e->seq));
+        }
+        throw std::logic_error("epoch closed twice");
+    }
     e->closed_app = true;
     e->closed_at = world_.engine().now();
     w.open_app.erase(e);
@@ -455,6 +472,15 @@ bool Rma::mvapich_batch_ready(const WinState& w, const Epoch& e,
 bool Rma::may_issue_op(const WinState& w, const Epoch& e,
                        const RmaOp& op) const {
     if (!may_issue_to_peer(w, e, op.target)) return false;
+    // MPI orders same-origin same-target accumulate-family ops in program
+    // order. "Issued" is not "sent": a rendezvous accumulate has only sent
+    // its RTS and ships data at the CTS, and an MVAPICH non-eager op is
+    // held for close-time batching — a later accumulate issued in that gap
+    // would land first. Hold each accumulate until every earlier one
+    // toward the same target has put its data on the wire.
+    if (op.acc_seq != 0 && op.acc_seq != e.peer.at(op.target).acc_sent + 1) {
+        return false;
+    }
     if (mode_ == Mode::Mvapich &&
         (e.kind == EpochKind::Access || e.kind == EpochKind::Fence) &&
         !op.mvapich_eager) {
@@ -632,9 +658,14 @@ void Rma::complete_epoch(WinState& w, EpochPtr e) {  // NOLINT: by value — era
             });
     }
     if (e->close_req) e->close_req->complete(world_.engine());
+    if (auto* ck = world_.checker()) {
+        // This rank's exposure phase is over: its shadow intervals retire.
+        if (e->exposure_side()) ck->phase_complete(w.rank, w.id, e->seq);
+    }
     // Every internal completion triggers a scan over this window's deferred
     // epochs (§VII-A).
     activation_scan(w);
+    flush_held_lock_grants(w);
 }
 
 EpochPtr Rma::find_open(WinState& w, EpochKind kind, Rank target) {
@@ -671,6 +702,10 @@ EpochPtr Rma::route_op(WinState& w, Rank target) {
                 break;
         }
     }
+    if (auto* ck = world_.checker()) {
+        ck->usage_error(w.rank, w.id, "op outside epoch",
+                        "target " + std::to_string(target));
+    }
     throw std::logic_error("RMA call with no open epoch covering target " +
                            std::to_string(target));
 }
@@ -679,6 +714,7 @@ EpochPtr Rma::route_op(WinState& w, Rank target) {
 
 Request Rma::istart(Rank r, std::uint32_t win, std::span<const Rank> group) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     open_epoch(w, EpochKind::Access, LockType::Shared,
                std::vector<Rank>(group.begin(), group.end()));
     // Epoch-opening routines return a dummy completed request (§VII-C).
@@ -687,13 +723,20 @@ Request Rma::istart(Rank r, std::uint32_t win, std::span<const Rank> group) {
 
 Request Rma::icomplete(Rank r, std::uint32_t win) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     EpochPtr e = find_open(w, EpochKind::Access);
-    if (!e) throw std::logic_error("icomplete: no open access epoch");
+    if (!e) {
+        if (auto* ck = world_.checker()) {
+            ck->usage_error(r, win, "complete without start", "");
+        }
+        throw std::logic_error("icomplete: no open access epoch");
+    }
     return close_epoch(w, e);
 }
 
 Request Rma::ipost(Rank r, std::uint32_t win, std::span<const Rank> group) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     open_epoch(w, EpochKind::Exposure, LockType::Shared,
                std::vector<Rank>(group.begin(), group.end()));
     return Request(rt::RequestState::completed());
@@ -701,13 +744,20 @@ Request Rma::ipost(Rank r, std::uint32_t win, std::span<const Rank> group) {
 
 Request Rma::iwait(Rank r, std::uint32_t win) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     EpochPtr e = find_open(w, EpochKind::Exposure);
-    if (!e) throw std::logic_error("iwait: no open exposure epoch");
+    if (!e) {
+        if (auto* ck = world_.checker()) {
+            ck->usage_error(r, win, "wait without post", "");
+        }
+        throw std::logic_error("iwait: no open exposure epoch");
+    }
     return close_epoch(w, e);
 }
 
 bool Rma::test_exposure(Rank r, std::uint32_t win) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     EpochPtr e = find_open(w, EpochKind::Exposure);
     if (!e) throw std::logic_error("test_exposure: no open exposure epoch");
     if (e->phase != Epoch::Phase::Active) return false;
@@ -722,27 +772,54 @@ bool Rma::test_exposure(Rank r, std::uint32_t win) {
 
 Request Rma::ifence(Rank r, std::uint32_t win, unsigned asserts) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) {
+        ck->sync_call(r, win);
+        ck->fence_asserts(r, win, asserts);
+    }
     Request close_request(rt::RequestState::completed());
     EpochPtr prev = find_open(w, EpochKind::Fence);
     if (prev) {
         if (asserts & kNoPrecede) {
             if (prev->has_ops) {
+                if (auto* ck = world_.checker()) {
+                    ck->usage_error(r, win, "fence NOPRECEDE with RMA calls",
+                                    "seq " + std::to_string(prev->seq));
+                }
                 throw std::logic_error(
                     "fence(NOPRECEDE) but the open fence epoch has RMA calls");
             }
-            // Vacuous close: no barrier exchange.
+            // Vacuous close: no barrier exchange, but the epoch still runs
+            // the local close/complete lifecycle — observers and traces see
+            // the skipped transitions like any other fence.
             prev->closed_app = true;
+            prev->closed_at = world_.engine().now();
             prev->close_req = rt::RequestState::completed();
             w.open_app.erase(prev);
+            notify_epoch(EpochEvent::What::Close, w, *prev);
+            if (auto* t = tracer()) {
+                t->instant(w.rank, "epoch", close_event_name(prev->kind),
+                           {{"win", w.id},
+                            {"seq", i64(prev->seq)},
+                            {"vacuous", true}});
+            }
             if (prev->phase == Epoch::Phase::Active) {
+                notify_epoch(EpochEvent::What::Complete, w, *prev);
                 prev->phase = Epoch::Phase::Completed;
                 w.active.erase(prev);
-                activation_scan(w);
             } else {
                 auto it = std::find(w.deferred.begin(), w.deferred.end(), prev);
                 if (it != w.deferred.end()) w.deferred.erase(it);
+                notify_epoch(EpochEvent::What::Complete, w, *prev);
                 prev->phase = Epoch::Phase::Completed;
             }
+            if (auto* ck = world_.checker()) {
+                ck->phase_complete(r, win, prev->seq);
+            }
+            // Retiring the fence can unblock later deferred epochs in both
+            // branches. The deferred branch used to skip this scan, leaving
+            // an activatable successor stuck if the application made no
+            // further engine calls (e.g. it only waits next).
+            activation_scan(w);
         } else {
             close_request = close_epoch(w, prev);
         }
@@ -756,7 +833,12 @@ Request Rma::ifence(Rank r, std::uint32_t win, unsigned asserts) {
 
 Request Rma::ilock(Rank r, std::uint32_t win, LockType type, Rank target) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     if (find_open(w, EpochKind::Lock, target)) {
+        if (auto* ck = world_.checker()) {
+            ck->usage_error(r, win, "lock while locked",
+                            "target " + std::to_string(target));
+        }
         throw std::logic_error("ilock: lock epoch to target already open");
     }
     open_epoch(w, EpochKind::Lock, type, std::vector<Rank>{target});
@@ -765,14 +847,25 @@ Request Rma::ilock(Rank r, std::uint32_t win, LockType type, Rank target) {
 
 Request Rma::iunlock(Rank r, std::uint32_t win, Rank target) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     EpochPtr e = find_open(w, EpochKind::Lock, target);
-    if (!e) throw std::logic_error("iunlock: no open lock epoch to target");
+    if (!e) {
+        if (auto* ck = world_.checker()) {
+            ck->usage_error(r, win, "unlock without lock",
+                            "target " + std::to_string(target));
+        }
+        throw std::logic_error("iunlock: no open lock epoch to target");
+    }
     return close_epoch(w, e);
 }
 
 Request Rma::ilock_all(Rank r, std::uint32_t win) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     if (find_open(w, EpochKind::LockAll)) {
+        if (auto* ck = world_.checker()) {
+            ck->usage_error(r, win, "lock_all while locked", "");
+        }
         throw std::logic_error("ilock_all: lock_all epoch already open");
     }
     open_epoch(w, EpochKind::LockAll, LockType::Shared, all_ranks_);
@@ -781,13 +874,20 @@ Request Rma::ilock_all(Rank r, std::uint32_t win) {
 
 Request Rma::iunlock_all(Rank r, std::uint32_t win) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     EpochPtr e = find_open(w, EpochKind::LockAll);
-    if (!e) throw std::logic_error("iunlock_all: no open lock_all epoch");
+    if (!e) {
+        if (auto* ck = world_.checker()) {
+            ck->usage_error(r, win, "unlock_all without lock_all", "");
+        }
+        throw std::logic_error("iunlock_all: no open lock_all epoch");
+    }
     return close_epoch(w, e);
 }
 
 Request Rma::iflush(Rank r, std::uint32_t win, Rank target, bool local_only) {
     WinState& w = ws(r, win);
+    if (auto* ck = world_.checker()) ck->sync_call(r, win);
     // Flush applies to the currently open passive-target epoch(s).
     std::vector<EpochPtr> scope;
     for (const auto& e : w.open_app) {
@@ -915,6 +1015,14 @@ void Rma::record_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
     auto& ps = e->peer.at(op->target);
     ++ps.ops_total;
     ps.pending.push_back(op);
+    if (op->kind != OpKind::Put && op->kind != OpKind::Get) {
+        // Accumulate family: program-order index toward this target, used
+        // by may_issue_op to keep MPI's accumulate ordering on the wire.
+        op->acc_seq = ++ps.acc_recorded;
+    }
+    if (auto* ck = world_.checker()) {
+        ck->note_op(w.rank, w.id, op->id, op->posted_at, op->age);
+    }
     op->mvapich_eager = e->phase == Epoch::Phase::Active && ps.granted;
     if (e->phase == Epoch::Phase::Active && may_issue_op(w, *e, *op)) {
         issue_op(w, e, op);
@@ -943,16 +1051,18 @@ void Rma::issue_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
     switch (op->kind) {
         case OpKind::Put:
         case OpKind::Accumulate:
-            if (op->kind == OpKind::Accumulate &&
-                op->bytes > acc_rndv_threshold_) {
+            if (op->kind == OpKind::Accumulate && acc_needs_rndv(op->bytes)) {
                 // Large accumulates need an intermediate target-side buffer:
-                // internal rendezvous (paper §VIII-A).
+                // internal rendezvous (paper §VIII-A). Data goes out at the
+                // CTS (on_acc_cts), which is also where acc_sent advances.
+                ++st.acc_rndv;
                 w.pending_acc_rndv.emplace(op->id, std::make_pair(e, op));
                 send_control(w.rank, op->target, kAccRts, w.id, op->id,
                              op->bytes);
                 return;
             }
             send_op_data(w, e, op);
+            if (op->acc_seq != 0) ++e->peer.at(op->target).acc_sent;
             op->local_done = true;
             note_op_completion_for_flushes(w, *op, /*local_event=*/true);
             break;
@@ -984,6 +1094,7 @@ void Rma::issue_op(WinState& w, const EpochPtr& e, const OpPtr& op) {
             p.header[4] = pack_type_rop(op->type, op->rop);
             p.payload = op->data;  // refcount share, not a copy
             world_.fabric().send(std::move(p));
+            ++e->peer.at(op->target).acc_sent;
             break;
         }
     }
@@ -1001,6 +1112,7 @@ void Rma::send_op_data(WinState& w, const EpochPtr& e, const OpPtr& op) {
     p.header[2] = op->target_disp;
     p.header[3] = 0;  // no reply
     p.header[4] = pack_type_rop(op->type, op->rop);
+    p.header[5] = op->id;  // semantics checker joins op metadata on this
     // Share (don't move): the op must keep its ref so the flush_local /
     // abort hooks can detach a borrowed payload while the wire still
     // holds a view of it.
@@ -1079,6 +1191,66 @@ void Rma::send_lock_grant(WinState& w, Rank to) {
     send_control(w.rank, to, kLockGrant, w.id, 0);
 }
 
+bool Rma::grant_must_wait(const WinState& w, Rank from) const {
+    for (const auto& e : w.active) {
+        if (!e->exposure_side() || !e->closed_app) continue;
+        switch (e->kind) {
+            case EpochKind::Fence:
+                // The requester's fence-done precedes its lock request on
+                // the same link, so "done arrived" means it has left this
+                // fence epoch and relies on the fence for separation.
+                if (w.fence_done_from[static_cast<std::size_t>(from)] >=
+                    e->fence_seq) {
+                    return true;
+                }
+                break;
+            case EpochKind::Exposure:
+                if (std::binary_search(e->peers.begin(), e->peers.end(),
+                                       from) &&
+                    w.done[static_cast<std::size_t>(from)].has(
+                        e->exposure_id.at(from))) {
+                    return true;
+                }
+                break;
+            default:
+                break;
+        }
+    }
+    return false;
+}
+
+void Rma::queue_or_send_lock_grant(WinState& w, Rank to) {
+    // An exposure-side epoch the application already closed can still be
+    // draining a slow origin's data (the nonblocking-epoch case: the close
+    // returned early). A lock granted now would let passive-target traffic
+    // read or clobber bytes the fence/GATS epoch has not finished writing,
+    // so a requester that already left that epoch waits for the drain.
+    // Requesters still inside it (done marker not here) interleave lock
+    // and active-target epochs on purpose and are granted immediately —
+    // holding them could cycle: the drain may need *their* done marker.
+    if (grant_must_wait(w, to)) {
+        NBE_TRACE("[%ld] r%d w%u hold lock grant to=%d",
+                  (long)world_.engine().now(), w.rank, w.id, (int)to);
+        w.held_lock_grants.push_back(to);
+        ++stats_[static_cast<std::size_t>(w.rank)].lock_grants_held;
+        return;
+    }
+    send_lock_grant(w, to);
+}
+
+void Rma::flush_held_lock_grants(WinState& w) {
+    if (w.held_lock_grants.empty()) return;
+    std::vector<Rank> held;
+    held.swap(w.held_lock_grants);
+    for (Rank to : held) {
+        if (grant_must_wait(w, to)) {
+            w.held_lock_grants.push_back(to);
+        } else {
+            send_lock_grant(w, to);
+        }
+    }
+}
+
 void Rma::send_control(Rank src, Rank dst, std::uint32_t kind, std::uint32_t win,
                        std::uint64_t h1, std::uint64_t h2) {
     net::Packet p;
@@ -1106,7 +1278,7 @@ void Rma::handle_packet(Rank r, net::Packet&& p) {
         case kData: on_data(w, std::move(p)); break;
         case kGetReq: on_get_req(w, std::move(p)); break;
         case kGetReply: on_get_reply(w, std::move(p)); break;
-        case kFenceDone: on_fence_done(w, p.header[1]); break;
+        case kFenceDone: on_fence_done(w, p.src, p.header[1]); break;
         case kAccRts: on_acc_rts(w, std::move(p)); break;
         case kAccCts: on_acc_cts(w, std::move(p)); break;
         default:
@@ -1149,7 +1321,7 @@ void Rma::on_done(WinState& w, Rank from, std::uint64_t access_id) {
 }
 
 void Rma::on_lock_req(WinState& w, Rank from, LockType type) {
-    if (w.lockmgr.request(from, type)) send_lock_grant(w, from);
+    if (w.lockmgr.request(from, type)) queue_or_send_lock_grant(w, from);
 }
 
 void Rma::on_lock_grant(WinState& w, Rank from) {
@@ -1172,9 +1344,10 @@ void Rma::on_lock_grant(WinState& w, Rank from) {
 }
 
 void Rma::on_unlock(WinState& w, Rank from) {
+    if (auto* ck = world_.checker()) ck->unlock_session(w.rank, w.id, from);
     send_control(w.rank, from, kUnlockAck, w.id, 0);
     for (const auto& waiter : w.lockmgr.release(from)) {
-        send_lock_grant(w, waiter.origin);
+        queue_or_send_lock_grant(w, waiter.origin);
     }
 }
 
@@ -1194,6 +1367,18 @@ void Rma::on_unlock_ack(WinState& w, Rank from) {
     ++stats_[static_cast<std::size_t>(w.rank)].protocol_errors;
 }
 
+std::uint64_t Rma::exposure_phase_key(const WinState& w, Rank origin) const {
+    // EpochList iterates in insertion (= seq) order: the first match is the
+    // oldest active exposure-side epoch naming this origin.
+    for (const auto& e : w.active) {
+        if (!e->exposure_side()) continue;
+        if (std::binary_search(e->peers.begin(), e->peers.end(), origin)) {
+            return e->seq;
+        }
+    }
+    return 0;
+}
+
 void Rma::on_data(WinState& w, net::Packet&& p) {
     const auto kind = static_cast<OpKind>(p.header[1]);
     const std::size_t disp = p.header[2];
@@ -1201,6 +1386,18 @@ void Rma::on_data(WinState& w, net::Packet&& p) {
     const TypeId type = unpack_type(p.header[4]);
     const ReduceOp rop = unpack_rop(p.header[4]);
     const std::size_t esz = type_size(type);
+
+    if (auto* ck = world_.checker()) {
+        // CAS packs [desired][compare] but touches one element; everything
+        // else modifies exactly payload-many bytes at the window.
+        const std::size_t len =
+            kind == OpKind::CompareAndSwap ? esz : p.payload.size();
+        // No-reply transfers carry the op id in header[5] (header[3] is the
+        // reply-routing slot, 0 for them).
+        const std::uint64_t id = op_id != 0 ? op_id : p.header[5];
+        ck->remote_access(w.rank, w.id, p.src, kind, disp, len, id,
+                          exposure_phase_key(w, p.src));
+    }
 
     switch (kind) {
         case OpKind::Put:
@@ -1261,6 +1458,10 @@ void Rma::on_data(WinState& w, net::Packet&& p) {
 void Rma::on_get_req(WinState& w, net::Packet&& p) {
     const std::size_t disp = p.header[2];
     const std::size_t bytes = p.header[5];
+    if (auto* ck = world_.checker()) {
+        ck->remote_access(w.rank, w.id, p.src, OpKind::Get, disp, bytes,
+                          p.header[3], exposure_phase_key(w, p.src));
+    }
     if (disp + bytes > w.mem.size()) {
         throw std::out_of_range("get beyond window bounds");
     }
@@ -1284,6 +1485,14 @@ void Rma::on_get_reply(WinState& w, net::Packet&& p) {
     }
     auto [e, op] = it->second;
     w.pending_replies.erase(it);
+    if (e->phase == Epoch::Phase::Completed) {
+        // Defense in depth: an aborted epoch's entries are erased from
+        // pending_replies, so this lookup should never hit one — but if it
+        // ever does, origin_out may already be reused by the application
+        // and must not be written.
+        ++stats_[static_cast<std::size_t>(w.rank)].protocol_errors;
+        return;
+    }
     if (op->origin_out != nullptr) {
         std::memcpy(op->origin_out, p.payload.data(), p.payload.size());
     }
@@ -1292,8 +1501,10 @@ void Rma::on_get_reply(WinState& w, net::Packet&& p) {
     on_op_remote_complete(w, e, op.get());
 }
 
-void Rma::on_fence_done(WinState& w, std::uint64_t fence_seq) {
+void Rma::on_fence_done(WinState& w, Rank from, std::uint64_t fence_seq) {
     ++w.fence_dones[fence_seq];
+    auto& hw = w.fence_done_from[static_cast<std::size_t>(from)];
+    hw = std::max(hw, fence_seq);
     const auto actives = w.active.snapshot();
     for (const auto& e : actives) {
         if (e->kind == EpochKind::Fence && e->fence_seq == fence_seq) {
@@ -1318,8 +1529,13 @@ void Rma::on_acc_cts(WinState& w, net::Packet&& p) {
     auto [e, op] = it->second;
     w.pending_acc_rndv.erase(it);
     send_op_data(w, e, op);
+    if (op->acc_seq != 0) ++e->peer.at(op->target).acc_sent;
     op->local_done = true;
     note_op_completion_for_flushes(w, *op, /*local_event=*/true);
+    // The rendezvous transfer's data is on the wire now: any younger
+    // accumulate toward this target that may_issue_op held back waiting
+    // for it becomes issuable.
+    drive_epoch(w, e, op->target);
 }
 
 // ========================================================== fault handling
@@ -1375,6 +1591,10 @@ void Rma::abort_epoch(WinState& w, const EpochPtr& e, Status s) {
         // but in-flight packets on still-healthy links can share them:
         // copy any borrowed payload into owned storage before letting go.
         op->data.detach();
+        // Drop the origin buffer's registration-cache entry too: the app
+        // may free the buffer, and a later pin of a *new* allocation at
+        // the same address must miss instead of hitting the dead entry.
+        world_.fabric().unpin(w.rank, op->origin_key);
         w.pending_replies.erase(op->id);
         w.pending_acc_rndv.erase(op->id);
         // Fail flushes that were counting this op before failing the op
@@ -1396,7 +1616,11 @@ void Rma::abort_epoch(WinState& w, const EpochPtr& e, Status s) {
     }
     if (e->close_req) e->close_req->fail(world_.engine(), s);
     ++stats_[static_cast<std::size_t>(w.rank)].epochs_aborted;
+    if (auto* ck = world_.checker()) {
+        if (e->exposure_side()) ck->phase_complete(w.rank, w.id, e->seq);
+    }
     activation_scan(w);
+    flush_held_lock_grants(w);
 }
 
 std::vector<obs::Record> Rma::diagnostic_records() const {

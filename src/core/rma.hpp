@@ -50,6 +50,10 @@ struct RmaStats {
     std::uint64_t max_deferred_epochs = 0;
     std::uint64_t epochs_aborted = 0;   ///< aborted by a link failure
     std::uint64_t protocol_errors = 0;  ///< malformed/stale packets dropped
+    std::uint64_t acc_rndv = 0;  ///< accumulates routed through rendezvous
+    /// Lock grants deferred because a closed-but-incomplete exposure-side
+    /// epoch was still draining on the target window.
+    std::uint64_t lock_grants_held = 0;
 };
 
 class Rma {
@@ -173,6 +177,10 @@ private:
         std::vector<std::uint64_t> g;  // accesses granted by r (written remotely)
         std::vector<std::uint64_t> lock_grants;  // lock grants received from r
         std::vector<DoneTracker> done;  // done ids received from r
+        // Highest fence seq for which rank r's fence-done arrived. Fence
+        // adjacency orders every rank's fence closes, so these arrive in
+        // increasing seq order per origin.
+        std::vector<std::uint64_t> fence_done_from;
 
         std::uint64_t next_epoch_seq = 1;
         std::uint64_t next_op_age = 1;
@@ -184,6 +192,11 @@ private:
         EpochList<&Epoch::idx_open_app> open_app;  // not yet closed at app level
 
         LockManager lockmgr;
+        // Lock grants the manager already awarded but that must not reach
+        // origins that are already past a closed exposure-side epoch still
+        // draining here: their passive traffic could overtake a slower
+        // fence/GATS origin's data. Flushed on exposure completion.
+        std::vector<Rank> held_lock_grants;
         std::unordered_map<std::uint64_t, std::uint32_t> fence_dones;
         std::unordered_map<std::uint64_t, std::pair<EpochPtr, OpPtr>> pending_replies;
         std::unordered_map<std::uint64_t, std::pair<EpochPtr, OpPtr>> pending_acc_rndv;
@@ -249,6 +262,7 @@ private:
     void handle_packet(Rank r, net::Packet&& p);
     void on_grant(WinState& w, Rank from, std::uint64_t value);
     void on_done(WinState& w, Rank from, std::uint64_t access_id);
+
     void on_lock_req(WinState& w, Rank from, LockType type);
     void on_lock_grant(WinState& w, Rank from);
     void on_unlock(WinState& w, Rank from);
@@ -256,11 +270,22 @@ private:
     void on_data(WinState& w, net::Packet&& p);
     void on_get_req(WinState& w, net::Packet&& p);
     void on_get_reply(WinState& w, net::Packet&& p);
-    void on_fence_done(WinState& w, std::uint64_t fence_seq);
+    void on_fence_done(WinState& w, Rank from, std::uint64_t fence_seq);
     void on_acc_rts(WinState& w, net::Packet&& p);
     void on_acc_cts(WinState& w, net::Packet&& p);
     void send_grant(WinState& w, Rank to, std::uint64_t value);
     void send_lock_grant(WinState& w, Rank to);
+    /// True when some closed-but-incomplete exposure-side epoch is still
+    /// draining on this window AND `from` is already past it (its own done
+    /// marker arrived) — i.e. the requester expects MPI separation between
+    /// that epoch and its lock. An origin that has not closed the epoch is
+    /// interleaving permissively and must not be held (deadlock freedom).
+    [[nodiscard]] bool grant_must_wait(const WinState& w, Rank from) const;
+    /// Sends a lock grant the manager awarded, or holds it until the
+    /// draining exposure epochs complete (MPI separation: passive-target
+    /// traffic may not overtake active-target data still in flight).
+    void queue_or_send_lock_grant(WinState& w, Rank to);
+    void flush_held_lock_grants(WinState& w);
     void send_control(Rank src, Rank dst, std::uint32_t kind, std::uint32_t win,
                       std::uint64_t h1, std::uint64_t h2 = 0);
 
@@ -271,6 +296,23 @@ private:
     void on_link_down(Rank src, Rank dst);
     void abort_epochs_toward(Rank r, Rank peer, Status s);
     void abort_epoch(WinState& w, const EpochPtr& e, Status s);
+
+    // ---- semantics checking (nbe::check) ----
+    /// Target-side phase attribution for arriving RMA data: the oldest
+    /// active exposure-side epoch naming `origin`. Exact, not heuristic:
+    /// an origin only issues after this target's grant, and the grant for
+    /// exposure N+1 is only sent once exposure N completed here — so data
+    /// applied now can only belong to that oldest matching epoch. Returns
+    /// 0 for passive-target traffic (no exposure epoch; the checker
+    /// attributes it to the origin's lock session instead).
+    [[nodiscard]] std::uint64_t exposure_phase_key(const WinState& w,
+                                                   Rank origin) const;
+    /// Paper §VIII-A: accumulates strictly above 8 KB go through the
+    /// internal rendezvous (target-side intermediate buffer); at or below
+    /// they are sent eagerly like puts.
+    [[nodiscard]] bool acc_needs_rndv(std::size_t bytes) const noexcept {
+        return bytes > acc_rndv_threshold_;
+    }
 
     /// Non-null only while tracing is enabled for this job.
     [[nodiscard]] obs::Tracer* tracer() const noexcept;

@@ -60,6 +60,10 @@ public:
     /// after appropriate synchronization).
     template <typename T>
     [[nodiscard]] T read(std::size_t i) {
+        if (auto* ck = rma_->world().checker()) {
+            ck->local_access(rank(), id_, i * sizeof(T), sizeof(T),
+                             /*store=*/false);
+        }
         T v{};
         std::memcpy(&v, base() + i * sizeof(T), sizeof(T));
         return v;
@@ -67,6 +71,10 @@ public:
     /// Writes a T into the local window (application-side local store).
     template <typename T>
     void write(std::size_t i, const T& v) {
+        if (auto* ck = rma_->world().checker()) {
+            ck->local_access(rank(), id_, i * sizeof(T), sizeof(T),
+                             /*store=*/true);
+        }
         std::memcpy(base() + i * sizeof(T), &v, sizeof(T));
     }
 

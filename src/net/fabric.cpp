@@ -554,6 +554,14 @@ sim::Duration Fabric::pin(Rank r, std::uint64_t key, std::size_t bytes) {
     return cfg_.pin_cost;
 }
 
+void Fabric::unpin(Rank r, std::uint64_t key) {
+    auto& cache = reg_[asz(r)];
+    if (auto it = cache.map.find(key); it != cache.map.end()) {
+        cache.lru.erase(it->second);
+        cache.map.erase(it);
+    }
+}
+
 // -------------------------------------------------------------- diagnostics
 
 std::vector<obs::Record> Fabric::diagnostic_records() const {

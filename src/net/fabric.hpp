@@ -236,6 +236,13 @@ public:
     /// to charge (0 on hit or for small buffers) and updates the LRU cache.
     sim::Duration pin(Rank r, std::uint64_t key, std::size_t bytes);
 
+    /// Drops `key` from rank `r`'s registration cache, if present. Called
+    /// when the memory behind a registration may be freed or reused while
+    /// the cache would otherwise keep the stale entry warm (epoch abort
+    /// hands origin buffers back to the application): a later pin of a new
+    /// buffer at the same address must miss, not hit the dead registration.
+    void unpin(Rank r, std::uint64_t key);
+
     /// Available internode TX credits for a rank.
     [[nodiscard]] int credits(Rank r) const { return credits_.at(asz(r)); }
 

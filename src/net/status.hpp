@@ -17,6 +17,7 @@ enum Status : int {
     NBE_ERR_RANGE,      ///< rank or displacement out of range
     NBE_ERR_CANCELLED,  ///< request abandoned at teardown
     NBE_ERR_INTERNAL,
+    NBE_ERR_SEMANTICS,  ///< RMA usage error flagged by the nbe::check layer
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) noexcept {
@@ -29,6 +30,7 @@ enum Status : int {
         case NBE_ERR_RANGE: return "NBE_ERR_RANGE";
         case NBE_ERR_CANCELLED: return "NBE_ERR_CANCELLED";
         case NBE_ERR_INTERNAL: return "NBE_ERR_INTERNAL";
+        case NBE_ERR_SEMANTICS: return "NBE_ERR_SEMANTICS";
     }
     return "NBE_ERR_?";
 }

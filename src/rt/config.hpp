@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "check/check.hpp"
 #include "net/config.hpp"
 #include "obs/obs.hpp"
 #include "sim/engine.hpp"
@@ -44,6 +45,16 @@ struct JobConfig {
     /// (fibers unless overridden or in a sanitizer build); set explicitly
     /// to compare backends in-process.
     sim::Engine::Backend sim_backend = sim::Engine::env_backend();
+
+    /// Event-queue implementation. Defaults from NBE_SIM_QUEUE (the
+    /// bucketed calendar unless overridden); set explicitly to compare
+    /// queues in-process — both must produce byte-identical results.
+    sim::EventQueue::Kind sim_queue = sim::EventQueue::kind_from_env();
+
+    /// Online RMA semantics checking (nbe::check). Defaults from NBE_CHECK
+    /// (off unless NBE_CHECK=1); set explicitly in tests. Ignored — always
+    /// off — when the checker is compiled out (NBE_CHECK_ENABLED=0).
+    bool check = check::env_enabled();
 
     /// CPU cost charged for each runtime/RMA API call (the paper's epsilon).
     sim::Duration call_overhead = sim::nanoseconds(200);

@@ -12,9 +12,13 @@ namespace nbe::rt {
 
 World::World(JobConfig cfg)
     : cfg_(cfg),
-      engine_(cfg.sim_backend),
+      engine_(cfg.sim_backend, cfg.sim_queue),
       obs_(engine_, cfg.obs),
       fabric_(engine_, cfg.ranks, cfg.fabric) {
+    if (cfg.check) {
+        checker_ =
+            std::make_unique<check::Checker>(cfg.ranks, engine_, &obs_);
+    }
     fabric_.set_obs(&obs_);
     ctxs_.reserve(static_cast<std::size_t>(cfg.ranks));
     for (Rank r = 0; r < cfg.ranks; ++r) {
@@ -89,6 +93,8 @@ void World::run(std::function<void(Process&)> rank_main) {
                       });
     }
     engine_.run();
+    // Job-end validations (GATS group pairing) need the whole run's view.
+    if (checker_) checker_->finalize();
 }
 
 void World::set_rma_handler(Rank r, net::Fabric::Handler h) {

@@ -55,6 +55,9 @@ public:
     [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
     [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
     [[nodiscard]] obs::Obs& obs() noexcept { return obs_; }
+    /// Online semantics checker; nullptr unless JobConfig::check asked for
+    /// it. Hook sites guard with `if (auto* ck = world.checker())`.
+    [[nodiscard]] check::Checker* checker() noexcept { return checker_.get(); }
     [[nodiscard]] obs::Tracer& tracer() noexcept { return obs_.tracer(); }
     [[nodiscard]] const JobConfig& config() const noexcept { return cfg_; }
     [[nodiscard]] int nranks() const noexcept { return cfg_.ranks; }
@@ -147,6 +150,7 @@ private:
     JobConfig cfg_;
     sim::Engine engine_;
     obs::Obs obs_;  // before fabric_: the fabric holds a pointer into it
+    std::unique_ptr<check::Checker> checker_;  // null when checking is off
     net::Fabric fabric_;
     std::vector<std::unique_ptr<RankCtx>> ctxs_;
     std::vector<std::function<void(Rank, Rank)>> link_down_subs_;

@@ -1,0 +1,65 @@
+// Compiled with NBE_CHECK_ENABLED=0 (see tests/CMakeLists.txt): proves the
+// checker compiles out to a no-op stub — every hook site still compiles,
+// env_enabled() is a constant false so no job ever constructs a checker,
+// and the runtime paths behave identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+
+#include "check/check.hpp"
+#include "core/window.hpp"
+
+static_assert(NBE_CHECK_ENABLED == 0,
+              "this test must be built with NBE_CHECK_ENABLED=0");
+
+using namespace nbe;
+
+TEST(CheckDisabled, EnvToggleIsConstantFalse) {
+    static_assert(!check::env_enabled(),
+                  "compiled-out builds can never enable checking");
+    // JobConfig defaults from env_enabled(): always off in this build.
+    const JobConfig cfg;
+    EXPECT_FALSE(cfg.check);
+}
+
+TEST(CheckDisabled, StubAcceptsEveryHookAndReportsSuccess) {
+    // The stub swallows any argument list (the real signatures included),
+    // so hook sites need no #if guards of their own.
+    check::Checker ck;
+    ck.add_window(0, 0u, std::size_t{256});
+    ck.note_op(0, 0u, std::uint64_t{1}, sim::Time{0}, std::uint64_t{0});
+    ck.remote_access(0, 0u, 1, rma::OpKind::Put, std::size_t{0},
+                     std::size_t{8}, std::uint64_t{1}, std::uint64_t{5});
+    ck.local_access(0, 0u, std::size_t{0}, std::size_t{8}, true);
+    ck.sync_call(0, 0u);
+    ck.phase_complete(0, 0u, std::uint64_t{5});
+    ck.unlock_session(0, 0u, 1);
+    ck.epoch_open(0, 0u, rma::EpochKind::Access, std::uint64_t{1},
+                  std::vector<net::Rank>{1});
+    ck.fence_asserts(0, 0u, 0u);
+    ck.usage_error(0, 0u, "whatever", std::string{});
+    ck.finalize();
+    EXPECT_EQ(ck.status(), NBE_SUCCESS);
+    EXPECT_EQ(ck.stats().accesses, 0u);
+    EXPECT_EQ(ck.stats().conflicts, 0u);
+    EXPECT_TRUE(ck.records().empty());
+}
+
+TEST(CheckDisabled, RuntimePathsStillWork) {
+    // Jobs run exactly as before: no checker is constructed, data moves.
+    std::uint64_t seen = 0;
+    Job job{JobConfig{.ranks = 2}};
+    job.run([&](Proc& p) {
+        Window win = p.create_window(256);
+        win.fence();
+        if (p.rank() == 0) {
+            const std::uint64_t v = 4242;
+            win.put(std::span<const std::uint64_t>(&v, 1), 1, 0);
+        }
+        win.fence();
+        if (p.rank() == 1) seen = win.read<std::uint64_t>(0);
+    });
+    EXPECT_EQ(job.world().checker(), nullptr);
+    EXPECT_EQ(seen, 4242u);
+}

@@ -4,6 +4,7 @@
 // through requests, and the deadlock diagnostics dump.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -337,4 +338,113 @@ TEST(DeadlockDiagnostics, TwoSidedWaitShowsRequestLabel) {
     EXPECT_NE(msg.find("rank0: blocked on recv(src=1, tag=42)"),
               std::string::npos)
         << msg;
+}
+
+// ------------------------------------- aborted epochs and origin buffers
+
+// When an epoch aborts, the application resumes with an error and may free
+// (or reuse) its origin buffers — so abort must also drop their
+// registration-cache entries. Regression: a pinned put buffer used to stay
+// cached across the abort, and a later transfer from the same address
+// false-hit the dead entry (pin_hits > 0) instead of re-registering.
+TEST(EpochAbort, UnpinsOriginBuffersSoLaterTransfersMiss) {
+    JobConfig cfg;
+    cfg.ranks = 3;
+    cfg.mode = Mode::NewNonblocking;
+    cfg.fabric.ranks_per_node = 1;
+    cfg.fabric.reliability.enabled = true;
+    cfg.fabric.fault.enabled = true;
+    // Kill 0->1 after setup; 0->2 stays healthy.
+    cfg.fabric.fault.down.push_back(
+        {0, 1, sim::milliseconds(5), sim::seconds(100)});
+
+    // Above the 16 KB pin threshold, so the put registers its source.
+    constexpr std::size_t kBytes = 20000;
+    Status first_close = NBE_SUCCESS;
+    Status second_close = NBE_ERR_INTERNAL;
+    std::byte seen{};
+    Job job(cfg);
+    job.run([&](Proc& p) {
+        Window win = p.create_window(kBytes);
+        p.barrier();
+        p.compute(sim::milliseconds(10));  // move into the outage window
+        if (p.rank() == 0) {
+            std::vector<std::byte> buf(kBytes, std::byte{0x5a});
+            {
+                const Rank g[] = {1};
+                win.start(g);
+                win.put(buf.data(), buf.size(), 1, 0);  // pinned, then lost
+                Request close = win.icomplete();
+                p.wait(close);
+                first_close = close.status();
+            }
+            {
+                // Same source address toward a healthy peer: the abort must
+                // have dropped the registration, so this re-pins (a miss).
+                const Rank g[] = {2};
+                win.start(g);
+                win.put(buf.data(), buf.size(), 2, 0);
+                Request close = win.icomplete();
+                p.wait(close);
+                second_close = close.status();
+            }
+        } else if (p.rank() == 1) {
+            const Rank g[] = {0};
+            win.post(g);
+            Request done = win.iwait_exposure();
+            p.wait(done);
+        } else {
+            const Rank g[] = {0};
+            win.post(g);
+            win.wait_exposure();
+            seen = win.base()[0];
+        }
+    });
+    EXPECT_EQ(first_close, NBE_ERR_LINK_DOWN);
+    EXPECT_EQ(second_close, NBE_SUCCESS);
+    EXPECT_EQ(seen, std::byte{0x5a});
+    const auto stats = job.world().fabric().stats();
+    EXPECT_EQ(stats.pin_hits, 0u);   // stale entry would hit here
+    EXPECT_GE(stats.pin_misses, 2u); // both puts registered from scratch
+}
+
+// A get-family op whose epoch aborts must never write origin_out: the
+// reply is either lost with the link or dropped by the pending-reply
+// table, and the sentinel pattern stays intact for the application.
+TEST(EpochAbort, AbortedGetLeavesOriginBufferUntouched) {
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.mode = Mode::NewNonblocking;
+    cfg.fabric.ranks_per_node = 1;
+    cfg.fabric.reliability.enabled = true;
+    cfg.fabric.fault.enabled = true;
+    cfg.fabric.fault.down.push_back(
+        {0, 1, sim::milliseconds(5), sim::seconds(100)});
+
+    Status close_status = NBE_SUCCESS;
+    bool intact = false;
+    run(cfg, [&](Proc& p) {
+        Window win = p.create_window(4096);
+        p.barrier();
+        p.compute(sim::milliseconds(10));
+        if (p.rank() == 0) {
+            std::vector<std::byte> out(4096, std::byte{0xab});
+            const Rank g[] = {1};
+            win.start(g);
+            win.get(out.data(), out.size(), 1, 0);
+            Request close = win.icomplete();
+            p.wait(close);
+            close_status = close.status();
+            intact = std::all_of(out.begin(), out.end(), [](std::byte b) {
+                return b == std::byte{0xab};
+            });
+        } else {
+            const Rank g[] = {0};
+            win.post(g);
+            Request done = win.iwait_exposure();
+            p.wait(done);
+        }
+    });
+    EXPECT_EQ(close_status, NBE_ERR_LINK_DOWN);
+    EXPECT_TRUE(intact);
 }

@@ -282,3 +282,42 @@ TEST(Locks, AccumulatesUnderSharedLocksAreAtomic) {
     });
     EXPECT_EQ(total, (n - 1) * 10);
 }
+
+// Regression: the target's lock manager used to grant a lock the moment
+// ordering rules allowed, even while a closed-but-incomplete fence epoch
+// was still draining a slow origin's data into the window — passive
+// traffic could then read bytes an active-target put had not delivered
+// yet. The grant must be held until the exposure drain completes.
+TEST(Locks, GrantWaitsForDrainingFenceExposure) {
+    constexpr std::size_t kBytes = 4u << 20;
+    constexpr std::size_t kElems = kBytes / sizeof(std::int32_t);
+    std::int32_t seen = -1;
+    Job job(internode(3));
+    job.run([&](Proc& p) {
+        Window win = p.create_window(kBytes);
+        win.fence();
+        if (p.rank() == 2) {
+            // Large put: after rank 2 closes, the 2->0 link keeps
+            // serializing these bytes ahead of the done marker, so rank 0's
+            // fence epoch drains long after rank 1's (whose links are
+            // empty) has completed.
+            std::vector<std::int32_t> big(kElems, 42);
+            win.put(std::span<const std::int32_t>(big), 0, 0);
+            win.fence(rma::kNoSucceed);
+        } else if (p.rank() == 0) {
+            win.fence(rma::kNoSucceed);
+        } else {
+            Request rf = win.ifence(rma::kNoSucceed);
+            p.compute(sim::microseconds(100));  // rank 0 has closed by now
+            std::int32_t got = -1;
+            win.lock(LockType::Shared, 0);
+            win.get(std::span<std::int32_t>(&got, 1), 0, kElems - 1);
+            win.unlock(0);
+            seen = got;
+            p.wait(rf);
+        }
+        p.barrier();
+    });
+    EXPECT_EQ(seen, 42);
+    EXPECT_EQ(job.rma().stats(0).lock_grants_held, 1u);
+}

@@ -5,6 +5,8 @@
 // MPI_WIN_TEST-style exposure testing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string_view>
 #include <vector>
 
 #include "core/window.hpp"
@@ -317,4 +319,127 @@ TEST(Nonblocking, StatsCountEpochLifecycles) {
         EXPECT_EQ(st.epochs_opened, st.epochs_activated);
         p.barrier();
     });
+}
+
+// ---------------------------------------- fence asserts, vacuous lifecycle
+
+// A NOPRECEDE fence skips the barrier exchange, but the closed epoch must
+// still run the full local lifecycle: observers see Close and Complete,
+// and the trace marks the close instant as vacuous. (Regression: the
+// vacuous path used to flip the phase silently, so trace consumers and
+// property tests lost these transitions.)
+TEST(FenceAsserts, VacuousCloseFiresObserverAndTrace) {
+    JobConfig cfg = internode(2);
+    cfg.obs.trace = true;
+    std::vector<rma::Rma::EpochEvent> events;
+    Job job(cfg);
+    job.rma().set_epoch_observer([&](const rma::Rma::EpochEvent& ev) {
+        if (ev.rank == 0 && ev.kind == EpochKind::Fence) {
+            events.push_back(ev);
+        }
+    });
+    job.run([](Proc& p) {
+        Window win = p.create_window(64);
+        win.fence();
+        p.compute(sim::microseconds(50));  // let the fence epoch activate
+        win.fence(rma::kNoPrecede | rma::kNoSucceed);
+        p.barrier();
+    });
+    bool saw_close = false, saw_complete = false;
+    for (const auto& ev : events) {
+        if (ev.what == rma::Rma::EpochEvent::What::Close) saw_close = true;
+        if (ev.what == rma::Rma::EpochEvent::What::Complete) {
+            saw_complete = true;
+        }
+    }
+    EXPECT_TRUE(saw_close);
+    EXPECT_TRUE(saw_complete);
+    bool saw_vacuous_trace = false;
+    for (const auto& ev : job.world().obs().tracer().events()) {
+        if (ev.rank != 0 || std::string_view(ev.name) != "fence.close") {
+            continue;
+        }
+        for (const auto& [k, v] : ev.args) {
+            if (std::string_view(k) == "vacuous" && v == 1) {
+                saw_vacuous_trace = true;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_vacuous_trace);
+}
+
+// Same lifecycle when the epoch never activated. Rank 0 nonblocking-closes
+// a fence epoch with data while rank 1 is slow to fence: the successor
+// epoch the ifence opens stays deferred behind it (fence adjacency never
+// reorders), and the NOPRECEDE fence retires it straight from the deferred
+// queue. The deferred branch must fire the same Close/Complete pair (and
+// rescan activation) instead of silently dropping the epoch.
+TEST(FenceAsserts, VacuousCloseOfDeferredEpochFiresLifecycle) {
+    JobConfig cfg = internode(2);
+    std::vector<rma::Rma::EpochEvent> events;
+    Job job(cfg);
+    job.rma().set_epoch_observer([&](const rma::Rma::EpochEvent& ev) {
+        if (ev.rank == 0 && ev.kind == EpochKind::Fence) {
+            events.push_back(ev);
+        }
+    });
+    job.run([](Proc& p) {
+        Window win = p.create_window(64);
+        if (p.rank() == 0) {
+            win.fence();
+            const std::int32_t v = 9;
+            win.put(std::span<const std::int32_t>(&v, 1), 1, 0);
+            Request rf = win.ifence();  // closes the data epoch, opens the
+                                        // successor (deferred behind it)
+            win.fence(rma::kNoPrecede | rma::kNoSucceed);  // vacuous close
+            p.wait(rf);
+        } else {
+            p.compute(sim::milliseconds(5));
+            win.fence();
+            win.fence();
+        }
+        p.barrier();
+    });
+    std::uint64_t succ_seq = 0;
+    for (const auto& ev : events) succ_seq = std::max(succ_seq, ev.seq);
+    bool saw_close = false, saw_complete = false, saw_activate = false;
+    for (const auto& ev : events) {
+        if (ev.seq != succ_seq) continue;
+        if (ev.what == rma::Rma::EpochEvent::What::Close) saw_close = true;
+        if (ev.what == rma::Rma::EpochEvent::What::Complete) {
+            saw_complete = true;
+        }
+        if (ev.what == rma::Rma::EpochEvent::What::Activate) {
+            saw_activate = true;
+        }
+    }
+    EXPECT_TRUE(saw_close);
+    EXPECT_TRUE(saw_complete);
+    EXPECT_FALSE(saw_activate);  // proves the deferred branch was taken
+}
+
+// NOSUCCEED skips the open: after the closing fence, the window has no
+// epoch in any engine queue, and a later plain fence starts a fresh chain.
+TEST(FenceAsserts, NoSucceedSkipsTheOpen) {
+    std::int32_t seen = 0;
+    run(internode(2), [&](Proc& p) {
+        Window win = p.create_window(64);
+        win.fence();
+        if (p.rank() == 0) {
+            const std::int32_t v = 31;
+            win.put(std::span<const std::int32_t>(&v, 1), 1, 0);
+        }
+        win.fence(rma::kNoSucceed);
+        EXPECT_EQ(p.rma().active_count(p.rank(), win.id()), 0u);
+        EXPECT_EQ(p.rma().deferred_count(p.rank(), win.id()), 0u);
+        win.fence();  // fresh chain still works
+        if (p.rank() == 1) {
+            const std::int32_t v = 32;
+            win.put(std::span<const std::int32_t>(&v, 1), 0, 1);
+        }
+        win.fence();
+        if (p.rank() == 0) seen = win.read<std::int32_t>(1);
+        p.barrier();
+    });
+    EXPECT_EQ(seen, 32);
 }
